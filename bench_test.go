@@ -1,0 +1,162 @@
+package pramcc
+
+// Benchmark entry points. One Benchmark per experiment E1–E10 (the
+// per-experiment index is DESIGN.md §4; cmd/ccbench prints the same
+// tables standalone), plus wall-clock benchmarks of the public API.
+//
+// The experiment benches report model metrics (rounds, space ratios)
+// via b.ReportMetric in addition to wall-clock time; run with
+//
+//	go test -bench=. -benchmem
+//
+// and see EXPERIMENTS.md for the interpreted results.
+
+import (
+	"io"
+	"testing"
+
+	"repro/graph"
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/pram"
+)
+
+// runExperiment executes one registered experiment at Quick scale.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for _, e := range bench.All() {
+		if e.ID != id {
+			continue
+		}
+		for i := 0; i < b.N; i++ {
+			tbl := e.Run(bench.Quick)
+			if len(tbl.Rows) == 0 {
+				b.Fatalf("%s produced no rows", id)
+			}
+			if i == 0 && testing.Verbose() {
+				tbl.Fprint(benchWriter{b})
+			}
+		}
+		return
+	}
+	b.Fatalf("unknown experiment %s", id)
+}
+
+type benchWriter struct{ b *testing.B }
+
+func (w benchWriter) Write(p []byte) (int, error) {
+	w.b.Log(string(p))
+	return len(p), nil
+}
+
+var _ io.Writer = benchWriter{}
+
+func BenchmarkE1RoundsVsDiameter(b *testing.B)   { runExperiment(b, "E1") }
+func BenchmarkE2RoundsVsDensity(b *testing.B)    { runExperiment(b, "E2") }
+func BenchmarkE3RoundsVsN(b *testing.B)          { runExperiment(b, "E3") }
+func BenchmarkE4SpaceLinear(b *testing.B)        { runExperiment(b, "E4") }
+func BenchmarkE5MaxLevel(b *testing.B)           { runExperiment(b, "E5") }
+func BenchmarkE6LevelUpProb(b *testing.B)        { runExperiment(b, "E6") }
+func BenchmarkE7SuccessProbability(b *testing.B) { runExperiment(b, "E7") }
+func BenchmarkE8SpanningForest(b *testing.B)     { runExperiment(b, "E8") }
+func BenchmarkE9Baselines(b *testing.B)          { runExperiment(b, "E9") }
+func BenchmarkE10Ablations(b *testing.B)         { runExperiment(b, "E10") }
+
+// ---- wall-clock benchmarks of the public entry points ----
+
+func benchGraph() *graph.Graph {
+	return graph.Gnm(100000, 400000, 42)
+}
+
+func BenchmarkConnectedComponentsFast(b *testing.B) {
+	g := benchGraph()
+	b.ResetTimer()
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		res, err := ConnectedComponents(g, WithSeed(uint64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Stats.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+func BenchmarkConnectedComponentsLogLog(b *testing.B) {
+	g := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ConnectedComponentsLogLog(g, WithSeed(uint64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVanillaComponents(b *testing.B) {
+	g := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := VanillaComponents(g, WithSeed(uint64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpanningForest(b *testing.B) {
+	g := graph.Gnm(50000, 200000, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SpanningForest(g, WithSeed(uint64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShiloachVishkin(b *testing.B) {
+	g := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baseline.ShiloachVishkin(pram.New(0), g)
+	}
+}
+
+func BenchmarkUnionFindSequential(b *testing.B) {
+	g := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baseline.Components(g)
+	}
+}
+
+// BenchmarkCoreHighDiameter exercises the headline regime: high
+// diameter at fixed density, where rounds ≈ log d.
+func BenchmarkCoreHighDiameter(b *testing.B) {
+	g := graph.CliqueBeads(graph.CliqueBeadsSpec{Beads: 1024, Size: 24, IntraDeg: 20, Bridges: 2, Seed: 1})
+	b.ResetTimer()
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		res := core.Run(pram.New(0), g, core.DefaultParams(uint64(i+1)))
+		rounds = res.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkWorkersScaling reports wall-clock effect of the host worker
+// pool (the PRAM cost model is unaffected).
+func BenchmarkWorkersScaling(b *testing.B) {
+	g := graph.Gnm(200000, 800000, 7)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(workersName(w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ConnectedComponents(g, WithSeed(3), WithWorkers(w)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func workersName(w int) string {
+	return "workers-" + string(rune('0'+w))
+}

@@ -1,0 +1,70 @@
+// Command ccbench runs the reproduction experiments E1–E10 and prints
+// their tables. The output of `ccbench -scale full` is the source of
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	ccbench [-experiment all|E1,...,E10] [-scale quick|full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	expFlag := flag.String("experiment", "all", "comma-separated experiment ids (E1..E10) or 'all'")
+	scaleFlag := flag.String("scale", "quick", "quick (seconds) or full (minutes, EXPERIMENTS.md scale)")
+	formatFlag := flag.String("format", "text", "output format: text, markdown, or csv")
+	flag.Parse()
+
+	format, err := bench.ParseFormat(*formatFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccbench:", err)
+		os.Exit(2)
+	}
+
+	scale := bench.Quick
+	switch *scaleFlag {
+	case "quick":
+	case "full":
+		scale = bench.Full
+	default:
+		fmt.Fprintf(os.Stderr, "ccbench: unknown scale %q (want quick or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	runAll := *expFlag == "all"
+	if !runAll {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	ran := 0
+	for _, e := range bench.All() {
+		if !runAll && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		table := e.Run(scale)
+		if err := table.RenderTo(os.Stdout, format); err != nil {
+			fmt.Fprintln(os.Stderr, "ccbench:", err)
+			os.Exit(1)
+		}
+		if format == bench.FormatText {
+			fmt.Printf("  (%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "ccbench: no experiment matched %q\n", *expFlag)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,24 @@
+// Command ccfind computes the connected components (and optionally a
+// spanning forest) of a graph read from an edge-list file (format:
+// header "n m", then one "u v" line per edge; '#' comments allowed).
+//
+// Usage:
+//
+//	ccfind [-algo fast|loglog|vanilla] [-forest] [-seed N] [-v] [file]
+//
+// With no file, stdin is read. Output: a summary line; per-vertex
+// "vertex label" pairs with -v; the forest edge list with -forest.
+package main
+
+import (
+	"log"
+	"os"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ccfind: ")
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	pramcc "repro"
+	"repro/graph"
+)
+
+// run parses args and executes ccfind against in/out; factored out of
+// main for testing.
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("ccfind", flag.ContinueOnError)
+	algo := fs.String("algo", "fast", "fast (Thm 3), loglog (Thm 1), or vanilla")
+	forest := fs.Bool("forest", false, "also compute a spanning forest (Thm 2)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	verbose := fs.Bool("v", false, "print per-vertex labels")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	r := in
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	g, err := graph.ReadEdgeList(r)
+	if err != nil {
+		return err
+	}
+
+	var res *pramcc.Result
+	switch *algo {
+	case "fast":
+		res, err = pramcc.ConnectedComponents(g, pramcc.WithSeed(*seed))
+	case "loglog":
+		res, err = pramcc.ConnectedComponentsLogLog(g, pramcc.WithSeed(*seed))
+	case "vanilla":
+		res, err = pramcc.VanillaComponents(g, pramcc.WithSeed(*seed))
+	default:
+		return fmt.Errorf("unknown -algo %q (want fast, loglog, or vanilla)", *algo)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "n=%d m=%d components=%d rounds=%d pram-steps=%d\n",
+		g.N, g.NumEdges(), res.NumComponents, res.Stats.Rounds, res.Stats.PRAMSteps)
+	if *verbose {
+		for v, l := range res.Labels {
+			fmt.Fprintf(out, "%d %d\n", v, l)
+		}
+	}
+
+	if *forest {
+		fr, err := pramcc.SpanningForest(g, pramcc.WithSeed(*seed))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "forest edges: %d\n", len(fr.Edges))
+		for _, e := range fr.Edges {
+			fmt.Fprintf(out, "%d %d\n", e[0], e[1])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/graph"
+)
+
+func edgeListString(t *testing.T, g *graph.Graph) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestRunStdinAllAlgorithms(t *testing.T) {
+	g := graph.DisjointUnion(graph.Path(10), graph.Clique(5))
+	in := edgeListString(t, g)
+	for _, algo := range []string{"fast", "loglog", "vanilla"} {
+		var out bytes.Buffer
+		if err := run([]string{"-algo", algo}, strings.NewReader(in), &out); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(out.String(), "components=2") {
+			t.Fatalf("%s output missing component count: %s", algo, out.String())
+		}
+	}
+}
+
+func TestRunVerboseAndForest(t *testing.T) {
+	g := graph.Cycle(6)
+	var out bytes.Buffer
+	err := run([]string{"-v", "-forest"}, strings.NewReader(edgeListString(t, g)), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "forest edges: 5") {
+		t.Fatalf("missing forest output: %s", s)
+	}
+	if len(strings.Split(strings.TrimSpace(s), "\n")) < 1+6+1+5 {
+		t.Fatalf("verbose output too short:\n%s", s)
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	g := graph.Star(8)
+	path := filepath.Join(t.TempDir(), "g.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteEdgeList(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out bytes.Buffer
+	if err := run([]string{path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "components=1") {
+		t.Fatalf("unexpected output: %s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-algo", "nope"}, strings.NewReader("2 1\n0 1\n"), &bytes.Buffer{}); err == nil {
+		t.Fatal("bad algo accepted")
+	}
+	if err := run(nil, strings.NewReader("garbage"), &bytes.Buffer{}); err == nil {
+		t.Fatal("bad input accepted")
+	}
+	if err := run([]string{"/definitely/not/a/file"}, nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,24 @@
+// Command graphgen emits workload graphs in the edge-list format read
+// by ccfind, or a one-line summary with -stats.
+//
+// Usage:
+//
+//	graphgen -family path|cycle|star|grid|torus|tree|gnm|circulant|
+//	                 hypercube|rmat|chunglu|beads
+//	         [-n N] [-m M] [-rows R] [-cols C] [-dim D] [-k K]
+//	         [-beads B] [-size S] [-intradeg D] [-bridges K]
+//	         [-beta B] [-seed S] [-stats]
+package main
+
+import (
+	"log"
+	"os"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("graphgen: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/graph"
+)
+
+// run parses args, builds the requested graph, and writes it to out;
+// factored out of main for testing.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("graphgen", flag.ContinueOnError)
+	family := fs.String("family", "gnm", "path|cycle|star|grid|tree|gnm|circulant|beads|hypercube|torus|rmat|chunglu")
+	n := fs.Int("n", 1000, "vertices (path/cycle/star/tree/gnm/circulant/chunglu)")
+	m := fs.Int("m", 4000, "edges (gnm/rmat/chunglu)")
+	k := fs.Int("k", 4, "circulant width")
+	dim := fs.Int("dim", 10, "hypercube dimension")
+	rows := fs.Int("rows", 32, "grid/torus rows")
+	cols := fs.Int("cols", 32, "grid/torus cols")
+	beadsN := fs.Int("beads", 32, "bead count (beads)")
+	size := fs.Int("size", 16, "bead size (beads)")
+	intra := fs.Int("intradeg", 12, "intra-bead degree (beads)")
+	bridges := fs.Int("bridges", 2, "bridges between beads (beads)")
+	beta := fs.Float64("beta", 2.5, "power-law exponent (chunglu)")
+	seed := fs.Int64("seed", 1, "random seed")
+	stats := fs.Bool("stats", false, "print a summary to stderr-style trailer instead of edges")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var g *graph.Graph
+	switch *family {
+	case "path":
+		g = graph.Path(*n)
+	case "cycle":
+		g = graph.Cycle(*n)
+	case "star":
+		g = graph.Star(*n)
+	case "grid":
+		g = graph.Grid2D(*rows, *cols)
+	case "torus":
+		g = graph.Torus2D(*rows, *cols)
+	case "tree":
+		g = graph.RandomTree(*n, *seed)
+	case "gnm":
+		g = graph.Gnm(*n, *m, *seed)
+	case "circulant":
+		g = graph.Circulant(*n, *k)
+	case "hypercube":
+		g = graph.Hypercube(*dim)
+	case "rmat":
+		g = graph.RMAT(*n, *m, *seed)
+	case "chunglu":
+		g = graph.ChungLu(*n, *m, *beta, *seed)
+	case "beads":
+		g = graph.CliqueBeads(graph.CliqueBeadsSpec{
+			Beads: *beadsN, Size: *size, IntraDeg: *intra, Bridges: *bridges, Seed: *seed,
+		})
+	default:
+		return fmt.Errorf("unknown -family %q", *family)
+	}
+	if *stats {
+		_, err := fmt.Fprintln(out, g.Summary().String())
+		return err
+	}
+	return g.WriteEdgeList(out)
+}

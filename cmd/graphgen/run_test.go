@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/graph"
+)
+
+func TestRunAllFamiliesEmitReadableGraphs(t *testing.T) {
+	cases := [][]string{
+		{"-family", "path", "-n", "10"},
+		{"-family", "cycle", "-n", "12"},
+		{"-family", "star", "-n", "9"},
+		{"-family", "grid", "-rows", "4", "-cols", "5"},
+		{"-family", "torus", "-rows", "4", "-cols", "4"},
+		{"-family", "tree", "-n", "20"},
+		{"-family", "gnm", "-n", "30", "-m", "60"},
+		{"-family", "circulant", "-n", "15", "-k", "2"},
+		{"-family", "hypercube", "-dim", "4"},
+		{"-family", "rmat", "-n", "32", "-m", "100"},
+		{"-family", "chunglu", "-n", "40", "-m", "80"},
+		{"-family", "beads", "-beads", "4", "-size", "5", "-intradeg", "4"},
+	}
+	for _, args := range cases {
+		t.Run(args[1], func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(args, &out); err != nil {
+				t.Fatal(err)
+			}
+			g, err := graph.ReadEdgeList(&out)
+			if err != nil {
+				t.Fatalf("output unreadable: %v", err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-family", "star", "-n", "10", "-stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "n=10 m=9") {
+		t.Fatalf("stats output wrong: %s", out.String())
+	}
+}
+
+func TestRunUnknownFamily(t *testing.T) {
+	if err := run([]string{"-family", "nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestRunDeterministicWithSeed(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-family", "gnm", "-n", "50", "-m", "100", "-seed", "7"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-family", "gnm", "-n", "50", "-m", "100", "-seed", "7"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different graphs")
+	}
+}

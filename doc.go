@@ -1,0 +1,25 @@
+// Package pramcc is a Go reproduction of "Connected Components on a
+// PRAM in Log Diameter Time" (S. Cliff Liu, Robert E. Tarjan, Peilin
+// Zhong; SPAA 2020). It provides the three algorithms of the paper on
+// top of a simulated ARBITRARY CRCW PRAM:
+//
+//   - ConnectedComponents — Theorem 3, O(log d + log log_{m/n} n) time,
+//     O(m) processors (EXPAND-MAXLINK with levels and budgets);
+//   - ConnectedComponentsLogLog — Theorem 1, O(log d · log log_{m/n} n)
+//     time (EXPAND / VOTE / LINK);
+//   - SpanningForest — Theorem 2, same bound as Theorem 1, returning a
+//     spanning forest of input edges (TREE-LINK);
+//   - VanillaComponents — Reif's O(log n) algorithm (§B.1), the
+//     baseline and preprocessing subroutine.
+//
+// All results carry simulated-PRAM cost statistics (rounds, steps,
+// work, peak processors, peak space) so the paper's bounds can be
+// checked empirically; see EXPERIMENTS.md and cmd/ccbench.
+//
+// Graphs are built with the repro/graph package:
+//
+//	g := graph.Gnm(100_000, 400_000, 1)
+//	res, err := pramcc.ConnectedComponents(g, pramcc.WithSeed(42))
+//	if err != nil { ... }
+//	fmt.Println(res.NumComponents, res.Stats.Rounds)
+package pramcc

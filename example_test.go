@@ -1,0 +1,52 @@
+package pramcc_test
+
+import (
+	"fmt"
+
+	pramcc "repro"
+	"repro/graph"
+)
+
+// ExampleConnectedComponents demonstrates the primary entry point on a
+// deterministic two-component graph.
+func ExampleConnectedComponents() {
+	g := graph.DisjointUnion(graph.Path(4), graph.Clique(3))
+	res, err := pramcc.ConnectedComponents(g, pramcc.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("components:", res.NumComponents)
+	fmt.Println("0 and 3 together:", res.SameComponent(0, 3))
+	fmt.Println("0 and 5 together:", res.SameComponent(0, 5))
+	// Output:
+	// components: 2
+	// 0 and 3 together: true
+	// 0 and 5 together: false
+}
+
+// ExampleSpanningForest shows that the forest has exactly
+// n − #components edges, all taken from the input graph.
+func ExampleSpanningForest() {
+	g := graph.Cycle(5) // n = 5, one component, one redundant edge
+	res, err := pramcc.SpanningForest(g, pramcc.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("forest size:", len(res.Edges))
+	fmt.Println("components:", res.NumComponents)
+	// Output:
+	// forest size: 4
+	// components: 1
+}
+
+// ExampleVanillaComponents runs the O(log n) baseline.
+func ExampleVanillaComponents() {
+	g := graph.Star(6)
+	res, err := pramcc.VanillaComponents(g, pramcc.WithSeed(2))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("components:", res.NumComponents)
+	// Output:
+	// components: 1
+}

@@ -1,0 +1,80 @@
+// Spanning: compute a spanning forest of a random graph with the
+// Theorem 2 algorithm, validate it structurally, and render the forest
+// of a small grid as an ASCII maze (every spanning tree of a grid is a
+// perfect maze).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	pramcc "repro"
+	"repro/graph"
+)
+
+func main() {
+	// Part 1: spanning forest of a random graph with several components.
+	g := graph.DisjointUnion(
+		graph.Gnm(5000, 20000, 3),
+		graph.Path(400),
+		graph.Clique(30),
+	)
+	res, err := pramcc.SpanningForest(g, pramcc.WithSeed(9))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: n=%d m=%d components=%d\n", g.N, g.NumEdges(), res.NumComponents)
+	fmt.Printf("forest edges: %d (expect n-#components = %d)\n",
+		len(res.Edges), g.N-res.NumComponents)
+	fmt.Printf("phases: %d  simulated steps: %d\n\n", res.Stats.Rounds, res.Stats.PRAMSteps)
+	if len(res.Edges) != g.N-res.NumComponents {
+		log.Fatal("forest size mismatch")
+	}
+
+	// Part 2: maze from a spanning tree of a grid.
+	const rows, cols = 9, 19
+	grid := graph.Grid2D(rows, cols)
+	forest, err := pramcc.SpanningForest(grid, pramcc.WithSeed(1234))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("spanning tree of a 9x19 grid, drawn as a maze:")
+	fmt.Print(renderMaze(rows, cols, forest.Edges))
+}
+
+// renderMaze draws the grid cells with walls removed along tree edges.
+func renderMaze(rows, cols int, edges [][2]int) string {
+	inTree := make(map[[2]int]bool, len(edges))
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		if a > b {
+			a, b = b, a
+		}
+		inTree[[2]int{a, b}] = true
+	}
+	var sb strings.Builder
+	sb.WriteString("+" + strings.Repeat("--+", cols) + "\n")
+	for r := 0; r < rows; r++ {
+		sb.WriteString("|")
+		for c := 0; c < cols; c++ {
+			id := r*cols + c
+			if c+1 < cols && inTree[[2]int{id, id + 1}] {
+				sb.WriteString("   ")
+			} else {
+				sb.WriteString("  |")
+			}
+		}
+		sb.WriteString("\n+")
+		for c := 0; c < cols; c++ {
+			id := r*cols + c
+			if r+1 < rows && inTree[[2]int{id, id + cols}] {
+				sb.WriteString("  +")
+			} else {
+				sb.WriteString("--+")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

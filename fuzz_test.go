@@ -1,0 +1,52 @@
+package pramcc
+
+import (
+	"testing"
+
+	"repro/graph"
+	"repro/internal/check"
+)
+
+// FuzzConnectedComponents: arbitrary multigraphs and seeds must give
+// oracle-identical partitions, with no panics, on the full pipeline
+// (COMPACT → EXPAND-MAXLINK → Theorem-1 postprocess).
+func FuzzConnectedComponents(f *testing.F) {
+	f.Add(uint16(10), uint16(20), int64(1), uint64(1))
+	f.Add(uint16(100), uint16(50), int64(2), uint64(7))
+	f.Add(uint16(1), uint16(0), int64(3), uint64(9))
+	f.Add(uint16(300), uint16(2000), int64(4), uint64(3))
+	f.Fuzz(func(t *testing.T, nRaw, mRaw uint16, gseed int64, seed uint64) {
+		n := int(nRaw%400) + 1
+		m := int(mRaw % 1500)
+		g := graph.Gnm(n, m, gseed)
+		res, err := ConnectedComponents(g, WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := check.Components(g, res.Labels); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzSpanningForest: forests of arbitrary multigraphs must always
+// validate structurally.
+func FuzzSpanningForest(f *testing.F) {
+	f.Add(uint16(10), uint16(20), int64(1), uint64(1))
+	f.Add(uint16(200), uint16(600), int64(5), uint64(2))
+	f.Fuzz(func(t *testing.T, nRaw, mRaw uint16, gseed int64, seed uint64) {
+		n := int(nRaw%300) + 1
+		m := int(mRaw % 1000)
+		g := graph.Gnm(n, m, gseed)
+		res, err := SpanningForest(g, WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := check.Forest(g, res.EdgeIndices); err != nil {
+			t.Fatal(err)
+		}
+		if err := check.Components(g, res.Labels); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadEdgeList: the parser must never panic and must only accept
+// inputs that round-trip consistently.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add([]byte("3 2\n0 1\n1 2\n"))
+	f.Add([]byte("1 0\n"))
+	f.Add([]byte("# comment\n2 1\n0 1\n"))
+	f.Add([]byte("4 1\n3 3\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("x y\n"))
+	f.Add([]byte("2 1\n0 99\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatalf("write failed: %v", err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if g2.N != g.N || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed size: (%d,%d) vs (%d,%d)",
+				g.N, g.NumEdges(), g2.N, g2.NumEdges())
+		}
+	})
+}
+
+// FuzzBFSInvariants: distances satisfy the triangle property along
+// edges on arbitrary small graphs.
+func FuzzBFSInvariants(f *testing.F) {
+	f.Add(uint16(10), uint16(20), int64(1))
+	f.Add(uint16(2), uint16(0), int64(2))
+	f.Fuzz(func(t *testing.T, nRaw, mRaw uint16, seed int64) {
+		n := int(nRaw%200) + 1
+		m := int(mRaw % 500)
+		g := Gnm(n, m, seed)
+		dist, ecc := g.BFS(0)
+		if dist[0] != 0 {
+			t.Fatal("dist to source must be 0")
+		}
+		maxSeen := 0
+		for i := 0; i < len(g.U); i++ {
+			du, dv := dist[g.U[i]], dist[g.V[i]]
+			if (du < 0) != (dv < 0) {
+				t.Fatal("edge between reachable and unreachable vertex")
+			}
+			if du >= 0 && dv >= 0 && du > dv+1 {
+				t.Fatalf("triangle violation: %d > %d+1", du, dv)
+			}
+		}
+		for _, d := range dist {
+			if int(d) > maxSeen {
+				maxSeen = int(d)
+			}
+		}
+		if maxSeen != ecc {
+			t.Fatalf("ecc %d != max dist %d", ecc, maxSeen)
+		}
+	})
+}

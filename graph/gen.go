@@ -1,0 +1,226 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generators for the experiment workloads. Each generator documents how
+// it controls the three parameters of interest: n (vertices), m (edges)
+// and d (maximum component diameter).
+
+// Path returns the path graph on n vertices: d = n-1, m = n-1.
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle on n vertices: d = floor(n/2), m = n.
+func Cycle(n int) *Graph {
+	g := Path(n)
+	if n > 2 {
+		g.AddEdge(n-1, 0)
+	}
+	return g
+}
+
+// Star returns the star on n vertices centered at 0: d = 2, m = n-1.
+func Star(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+// Grid2D returns the rows×cols grid: n = rows·cols, d = rows+cols-2.
+func Grid2D(rows, cols int) *Graph {
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// CompleteBinaryTree returns the complete binary tree on n vertices
+// (heap numbering): d ≈ 2·log2(n).
+func CompleteBinaryTree(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i, (i-1)/2)
+	}
+	return g
+}
+
+// RandomTree returns a uniform random recursive tree on n vertices:
+// each vertex i>0 attaches to a uniform earlier vertex. Expected
+// diameter Θ(log n).
+func RandomTree(n int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i, rng.Intn(i))
+	}
+	return g
+}
+
+// Caterpillar returns a path of length spine with legs pendant vertices
+// attached round-robin along it: d = spine-1 + (2 if legs > 0).
+func Caterpillar(spine, legs int) *Graph {
+	g := New(spine + legs)
+	for i := 0; i+1 < spine; i++ {
+		g.AddEdge(i, i+1)
+	}
+	for j := 0; j < legs; j++ {
+		g.AddEdge(spine+j, j%spine)
+	}
+	return g
+}
+
+// Gnm returns a uniform random multigraph with n vertices and m edges.
+// For m/n ≥ c·log n the graph is connected w.h.p. with diameter
+// O(log n / log(m/n)); at low density components are small.
+func Gnm(n, m int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	g.U = make([]int32, 0, 2*m)
+	g.V = make([]int32, 0, 2*m)
+	for i := 0; i < m; i++ {
+		g.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return g
+}
+
+// Circulant returns the circulant graph C_n(1..k): vertex i connects to
+// i±1, …, i±k (mod n). Diameter ≈ n/(2k); m = n·k. An algebraic
+// expander-free way to get controllable density at high diameter.
+func Circulant(n, k int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := 1; j <= k; j++ {
+			g.AddEdge(i, (i+j)%n)
+		}
+	}
+	return g
+}
+
+// Clique returns the complete graph K_n: d = 1, m = n(n-1)/2.
+func Clique(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// CliqueBeadsSpec describes a "beaded path": Beads cliques of Size
+// vertices each, consecutive beads joined by Bridges parallel bridge
+// edges between random endpoints, plus Chords random intra-bead extra
+// edges per bead. This family is the workhorse of the diameter sweeps:
+//
+//	n = Beads·Size, d ≈ 2·Beads, m ≈ Beads·(Size·IntraDeg/2 + Bridges).
+//
+// Density m/n and diameter d are controlled independently, which is
+// what the O(log d + log log_{m/n} n) bound needs to be exhibited.
+type CliqueBeadsSpec struct {
+	Beads    int   // number of cliques along the path
+	Size     int   // vertices per bead
+	IntraDeg int   // average intra-bead degree (Size-1 ⇒ full clique)
+	Bridges  int   // parallel bridge edges between consecutive beads
+	Seed     int64 // randomness for sparse beads and bridge endpoints
+}
+
+// CliqueBeads generates the beaded-path family described by spec.
+func CliqueBeads(spec CliqueBeadsSpec) *Graph {
+	if spec.Beads <= 0 || spec.Size <= 0 {
+		panic(fmt.Sprintf("graph: invalid CliqueBeadsSpec %+v", spec))
+	}
+	if spec.Bridges <= 0 {
+		spec.Bridges = 1
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	n := spec.Beads * spec.Size
+	g := New(n)
+	base := func(b int) int { return b * spec.Size }
+	for b := 0; b < spec.Beads; b++ {
+		o := base(b)
+		if spec.IntraDeg >= spec.Size-1 {
+			for i := 0; i < spec.Size; i++ {
+				for j := i + 1; j < spec.Size; j++ {
+					g.AddEdge(o+i, o+j)
+				}
+			}
+		} else {
+			// Ring for connectivity plus random chords up to IntraDeg.
+			for i := 0; i < spec.Size; i++ {
+				g.AddEdge(o+i, o+(i+1)%spec.Size)
+			}
+			extra := spec.Size * (spec.IntraDeg - 2) / 2
+			for e := 0; e < extra; e++ {
+				g.AddEdge(o+rng.Intn(spec.Size), o+rng.Intn(spec.Size))
+			}
+		}
+		if b+1 < spec.Beads {
+			for e := 0; e < spec.Bridges; e++ {
+				g.AddEdge(o+rng.Intn(spec.Size), base(b+1)+rng.Intn(spec.Size))
+			}
+		}
+	}
+	return g
+}
+
+// DisjointUnion concatenates graphs into one graph with relabeled
+// vertices; components of the inputs stay separate.
+func DisjointUnion(gs ...*Graph) *Graph {
+	n := 0
+	for _, g := range gs {
+		n += g.N
+	}
+	out := New(n)
+	off := int32(0)
+	for _, g := range gs {
+		for i := range g.U {
+			out.U = append(out.U, g.U[i]+off)
+			out.V = append(out.V, g.V[i]+off)
+		}
+		off += int32(g.N)
+	}
+	return out
+}
+
+// WithIsolated returns g extended with extra isolated vertices.
+func WithIsolated(g *Graph, extra int) *Graph {
+	out := g.Clone()
+	out.N += extra
+	return out
+}
+
+// Permuted returns an isomorphic copy of g with vertex ids permuted by
+// a pseudorandom permutation. Useful to defeat accidental id-order
+// structure in generators (the algorithms use vertex ids as
+// tie-breakers in places).
+func Permuted(g *Graph, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(g.N)
+	out := New(g.N)
+	out.U = make([]int32, len(g.U))
+	out.V = make([]int32, len(g.V))
+	for i := range g.U {
+		out.U[i] = int32(perm[g.U[i]])
+		out.V[i] = int32(perm[g.V[i]])
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(4)
+	if g.N != 16 || g.NumEdges() != 32 {
+		t.Fatalf("n=%d m=%d", g.N, g.NumEdges())
+	}
+	if d := g.Diameter(); d != 4 {
+		t.Fatalf("diameter = %d, want 4", d)
+	}
+	for v := 0; v < g.N; v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("vertex %d degree %d, want 4", v, g.Degree(v))
+		}
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	g := Barbell(6, 4)
+	if g.N != 16 || g.NumComponents() != 1 {
+		t.Fatalf("n=%d comps=%d", g.N, g.NumComponents())
+	}
+	if d := g.Diameter(); d != 4+3 {
+		t.Fatalf("diameter = %d, want 7", d)
+	}
+}
+
+func TestRMATShape(t *testing.T) {
+	g := RMAT(1000, 5000, 3)
+	if g.N != 1024 || g.NumEdges() != 5000 {
+		t.Fatalf("n=%d m=%d", g.N, g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Heavy tail: max degree far above mean.
+	s := g.Summary()
+	if float64(s.MaxDeg) < 4*s.MeanDeg {
+		t.Fatalf("RMAT should be skewed: max=%d mean=%.1f", s.MaxDeg, s.MeanDeg)
+	}
+}
+
+func TestChungLuShape(t *testing.T) {
+	g := ChungLu(2000, 8000, 2.5, 5)
+	if g.N != 2000 || g.NumEdges() != 8000 {
+		t.Fatalf("n=%d m=%d", g.N, g.NumEdges())
+	}
+	s := g.Summary()
+	if float64(s.MaxDeg) < 5*s.MeanDeg {
+		t.Fatalf("ChungLu should be skewed: max=%d mean=%.1f", s.MaxDeg, s.MeanDeg)
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g := Torus2D(6, 8)
+	if g.N != 48 || g.NumEdges() != 96 {
+		t.Fatalf("n=%d m=%d", g.N, g.NumEdges())
+	}
+	for v := 0; v < g.N; v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("torus vertex %d degree %d", v, g.Degree(v))
+		}
+	}
+	if d := g.Diameter(); d != 7 {
+		t.Fatalf("torus 6x8 diameter = %d, want 7", d)
+	}
+}
+
+func TestLollipop(t *testing.T) {
+	g := LollipopPath(8, 12)
+	if g.N != 20 || g.NumComponents() != 1 {
+		t.Fatal("lollipop malformed")
+	}
+	if d := g.Diameter(); d != 13 {
+		t.Fatalf("diameter = %d, want 13", d)
+	}
+}
+
+func TestExtraGeneratorsValidate(t *testing.T) {
+	f := func(seed int64) bool {
+		for _, g := range []*Graph{
+			RMAT(256, 1000, seed),
+			ChungLu(300, 900, 2.3, seed),
+		} {
+			if g.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryAndHistogram(t *testing.T) {
+	g := Star(10)
+	s := g.Summary()
+	if s.N != 10 || s.M != 9 || s.MaxDeg != 9 || s.MinDeg != 1 || s.Components != 1 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+	h := g.DegreeHistogram()
+	// Degrees: one vertex of 9, nine of 1.
+	if len(h) != 2 || h[0] != [2]int{1, 9} || h[1] != [2]int{9, 1} {
+		t.Fatalf("histogram wrong: %v", h)
+	}
+	if g.FormatDegreeHistogram() == "" {
+		t.Fatal("empty formatted histogram")
+	}
+}
+
+func TestSummaryEmptyGraph(t *testing.T) {
+	s := New(0).Summary()
+	if s.N != 0 || s.MinDeg != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}

@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes the graph in the plain-text edge-list format
+// consumed by cmd/ccfind: a header line "n m" followed by one "u v"
+// line per undirected edge.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N, g.NumEdges()); err != nil {
+		return err
+	}
+	for i := 0; i < len(g.U); i += 2 {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", g.U[i], g.V[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList. Blank lines
+// and lines starting with '#' are ignored.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var g *Graph
+	want := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: expected two fields, got %q", line, text)
+		}
+		a, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		b, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		if g == nil {
+			g = New(a)
+			want = b
+			continue
+		}
+		if a < 0 || a >= g.N || b < 0 || b >= g.N {
+			return nil, fmt.Errorf("graph: line %d: edge {%d,%d} out of range [0,%d)", line, a, b, g.N)
+		}
+		g.AddEdge(a, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	if want >= 0 && g.NumEdges() != want {
+		return nil, fmt.Errorf("graph: header declared %d edges, read %d", want, g.NumEdges())
+	}
+	return g, nil
+}

@@ -1,0 +1,6 @@
+package graph
+
+import "math"
+
+// mathPow isolates the single math dependency of the generator files.
+func mathPow(b, e float64) float64 { return math.Pow(b, e) }

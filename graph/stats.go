@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes a graph for experiment logs.
+type Stats struct {
+	N, M       int
+	Density    float64 // m/n
+	MinDeg     int
+	MaxDeg     int
+	MeanDeg    float64
+	Components int
+	DiameterLB int // double-sweep lower bound
+	Isolated   int
+}
+
+// Summary computes the statistics (runs BFS per component; intended
+// for experiment setup, not hot paths).
+func (g *Graph) Summary() Stats {
+	s := Stats{N: g.N, M: g.NumEdges()}
+	if g.N > 0 {
+		s.Density = float64(s.M) / float64(s.N)
+	}
+	s.MinDeg = 1 << 30
+	for v := 0; v < g.N; v++ {
+		d := g.Degree(v)
+		if d < s.MinDeg {
+			s.MinDeg = d
+		}
+		if d > s.MaxDeg {
+			s.MaxDeg = d
+		}
+		if d == 0 {
+			s.Isolated++
+		}
+		s.MeanDeg += float64(d)
+	}
+	if g.N > 0 {
+		s.MeanDeg /= float64(g.N)
+	} else {
+		s.MinDeg = 0
+	}
+	s.Components = g.NumComponents()
+	s.DiameterLB = g.DiameterEstimate()
+	return s
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d m=%d (m/n=%.2f) deg=[%d..%d] mean=%.1f comps=%d d≥%d isolated=%d",
+		s.N, s.M, s.Density, s.MinDeg, s.MaxDeg, s.MeanDeg, s.Components, s.DiameterLB, s.Isolated)
+}
+
+// DegreeHistogram returns sorted (degree, count) pairs.
+func (g *Graph) DegreeHistogram() [][2]int {
+	counts := map[int]int{}
+	for v := 0; v < g.N; v++ {
+		counts[g.Degree(v)]++
+	}
+	out := make([][2]int, 0, len(counts))
+	for d, c := range counts {
+		out = append(out, [2]int{d, c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// FormatDegreeHistogram renders the histogram as an aligned block,
+// bucketing degrees into powers of two above 8.
+func (g *Graph) FormatDegreeHistogram() string {
+	buckets := map[int]int{}
+	label := func(d int) int {
+		if d <= 8 {
+			return d
+		}
+		b := 16
+		for d > b {
+			b <<= 1
+		}
+		return b
+	}
+	for v := 0; v < g.N; v++ {
+		buckets[label(g.Degree(v))]++
+	}
+	keys := make([]int, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		if k <= 8 {
+			fmt.Fprintf(&sb, "  deg %4d: %d\n", k, buckets[k])
+		} else {
+			fmt.Fprintf(&sb, "  deg ≤%4d: %d\n", k, buckets[k])
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,154 @@
+package pramcc
+
+// Integration tests: end-to-end agreement of every algorithm across a
+// wide workload matrix, including the heavy-tailed and dense/sparse
+// hybrid families that stress different code paths (hub collisions,
+// budget mismatches, isolated vertices, multigraph edges).
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/graph"
+	"repro/internal/check"
+)
+
+func workloadMatrix() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"path-1k":      graph.Path(1000),
+		"cycle":        graph.Cycle(777),
+		"star":         graph.Star(500),
+		"grid":         graph.Grid2D(30, 35),
+		"torus":        graph.Torus2D(20, 25),
+		"hypercube":    graph.Hypercube(9),
+		"binary-tree":  graph.CompleteBinaryTree(1023),
+		"random-tree":  graph.RandomTree(800, 4),
+		"gnm-sparse":   graph.Gnm(3000, 4500, 1),
+		"gnm-dense":    graph.Gnm(1500, 48000, 2),
+		"rmat":         graph.RMAT(2048, 10000, 3),
+		"chung-lu":     graph.ChungLu(2000, 9000, 2.4, 4),
+		"beads":        graph.CliqueBeads(graph.CliqueBeadsSpec{Beads: 40, Size: 12, IntraDeg: 10, Bridges: 2, Seed: 5}),
+		"barbell":      graph.Barbell(25, 60),
+		"lollipop":     graph.LollipopPath(30, 200),
+		"caterpillar":  graph.Caterpillar(150, 300),
+		"multi-comp":   graph.DisjointUnion(graph.Gnm(800, 2400, 6), graph.Path(300), graph.Clique(25), graph.Star(50)),
+		"isolated-mix": graph.WithIsolated(graph.Permuted(graph.Grid2D(20, 20), 7), 64),
+	}
+}
+
+func TestIntegrationAllAlgorithmsAllWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration matrix skipped in -short")
+	}
+	for name, g := range workloadMatrix() {
+		oracle := g.ComponentsBFS()
+		t.Run(name, func(t *testing.T) {
+			fast, err := ConnectedComponents(g, WithSeed(11))
+			if err != nil {
+				t.Fatalf("fast: %v", err)
+			}
+			if err := check.SamePartition(fast.Labels, oracle); err != nil {
+				t.Fatalf("fast: %v", err)
+			}
+			ll, err := ConnectedComponentsLogLog(g, WithSeed(11))
+			if err != nil {
+				t.Fatalf("loglog: %v", err)
+			}
+			if err := check.SamePartition(ll.Labels, oracle); err != nil {
+				t.Fatalf("loglog: %v", err)
+			}
+			sf, err := SpanningForest(g, WithSeed(11))
+			if err != nil {
+				t.Fatalf("forest: %v", err)
+			}
+			if err := check.SamePartition(sf.Labels, oracle); err != nil {
+				t.Fatalf("forest labels: %v", err)
+			}
+			if err := check.Forest(g, sf.EdgeIndices); err != nil {
+				t.Fatalf("forest structure: %v", err)
+			}
+			van, err := VanillaComponents(g, WithSeed(11))
+			if err != nil {
+				t.Fatalf("vanilla: %v", err)
+			}
+			if err := check.SamePartition(van.Labels, oracle); err != nil {
+				t.Fatalf("vanilla: %v", err)
+			}
+		})
+	}
+}
+
+// TestIntegrationRandomGraphsProperty: random multigraphs of arbitrary
+// shape must always match the oracle (quick-check over generator
+// parameters).
+func TestIntegrationRandomGraphsProperty(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%500) + 2
+		m := int(mRaw % 2000)
+		g := graph.Gnm(n, m, seed)
+		res, err := ConnectedComponents(g, WithSeed(uint64(seed)+1))
+		if err != nil {
+			return false
+		}
+		return check.Components(g, res.Labels) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntegrationForestProperty: spanning forests of random graphs are
+// always structurally valid.
+func TestIntegrationForestProperty(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%400) + 2
+		m := int(mRaw % 1600)
+		g := graph.Gnm(n, m, seed)
+		res, err := SpanningForest(g, WithSeed(uint64(seed)+3))
+		if err != nil {
+			return false
+		}
+		return check.Forest(g, res.EdgeIndices) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntegrationSeedSweepHighDiameter: the headline regime (large d)
+// across many seeds.
+func TestIntegrationSeedSweepHighDiameter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep skipped in -short")
+	}
+	g := graph.CliqueBeads(graph.CliqueBeadsSpec{Beads: 96, Size: 16, IntraDeg: 13, Bridges: 2, Seed: 1})
+	oracle := g.ComponentsBFS()
+	for seed := uint64(1); seed <= 12; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			res, err := ConnectedComponents(g, WithSeed(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := check.SamePartition(res.Labels, oracle); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestIntegrationHeavyTailHubs: heavy-tailed degree graphs drive hubs
+// into permanent collision → dormancy → level-ups; the space guard and
+// postprocessing must keep runs correct.
+func TestIntegrationHeavyTailHubs(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		g := graph.ChungLu(3000, 20000, 2.1, seed)
+		res, err := ConnectedComponents(g, WithSeed(uint64(seed)))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := check.Components(g, res.Labels); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,509 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/graph"
+	"repro/internal/baseline"
+	"repro/internal/ccbase"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/pram"
+	"repro/internal/spanning"
+	"repro/internal/vanilla"
+)
+
+// Scale selects experiment sizes.
+type Scale int
+
+const (
+	// Quick keeps every experiment under ~1s (CI and tests).
+	Quick Scale = iota
+	// Full is the EXPERIMENTS.md scale.
+	Full
+)
+
+// Experiment is a runnable experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(scale Scale) *Table
+}
+
+// All returns the experiment registry in order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "rounds vs diameter", E1},
+		{"E2", "rounds vs density (log log_{m/n} n term)", E2},
+		{"E3", "rounds vs n at fixed density", E3},
+		{"E4", "block space is O(m)", E4},
+		{"E5", "maximum level vs the bound L", E5},
+		{"E6", "per-budget level-up probability", E6},
+		{"E7", "success probability across seeds", E7},
+		{"E8", "spanning forest", E8},
+		{"E9", "baseline comparison", E9},
+		{"E10", "ablations", E10},
+	}
+}
+
+// RunAll executes every experiment and renders it to w.
+func RunAll(w io.Writer, scale Scale) {
+	for _, e := range All() {
+		e.Run(scale).Fprint(w)
+	}
+}
+
+// beads returns the CliqueBeads workload with m/n ≈ 10 (dense enough
+// to skip PREPARE so EXPAND-MAXLINK rounds are measured directly).
+func beads(numBeads int, seed int64) *graph.Graph {
+	return graph.CliqueBeads(graph.CliqueBeadsSpec{
+		Beads: numBeads, Size: 24, IntraDeg: 20, Bridges: 2, Seed: seed,
+	})
+}
+
+// sumExpandRounds totals the EXPAND inner rounds over Theorem-1
+// phases — the quantity that is O(log d · log log_{m/n} n).
+func sumExpandRounds(tr []ccbase.PhaseTrace) int {
+	s := 0
+	for _, t := range tr {
+		s += t.ExpandRounds
+	}
+	return s
+}
+
+// E1: rounds vs diameter. Theorem 3 rounds should grow like log d,
+// Theorem 1 like log d · log log, Vanilla/SV like log n (flat in d for
+// fixed n per bead count — n grows with d here, so they grow too, but
+// like log n = log d + const), and label propagation like d itself.
+func E1(scale Scale) *Table {
+	t := &Table{
+		ID:    "E1",
+		Title: "rounds vs diameter (CliqueBeads, m/n≈10)",
+		Claim: "Thm 3: O(log d + log log_{m/n} n) rounds; Thm 1: O(log d·log log); label propagation: Θ(d)",
+		Header: []string{"d(est)", "n", "m/n", "T3 rounds", "T1 exp-rounds", "T1 phases",
+			"vanilla", "SV", "labelprop"},
+	}
+	counts := []int{2, 8, 32, 128, 512}
+	if scale == Full {
+		counts = []int{2, 8, 32, 128, 512, 2048}
+	}
+	for _, nb := range counts {
+		g := beads(nb, int64(nb))
+		d := 2 * nb // beads diameter estimate; exact BFS is too slow at Full scale
+		if nb <= 64 {
+			d = g.DiameterEstimate()
+		}
+		c := core.Run(pram.New(0), g, core.DefaultParams(11))
+		b := ccbase.Run(pram.New(0), g, ccbase.DefaultParams(11))
+		v := vanilla.Run(pram.New(0), g, 11, 0)
+		sv := baseline.ShiloachVishkin(pram.New(0), g)
+		lp := baseline.LabelPropagation(pram.New(0), g)
+		t.Add(d, g.N, float64(g.NumEdges())/float64(g.N),
+			c.Rounds, sumExpandRounds(b.Trace), b.Phases, v.Phases, sv.Rounds, lp.Rounds)
+	}
+	t.Notes = append(t.Notes,
+		"T3 rounds = EXPAND-MAXLINK rounds (PREPARE skipped at this density)",
+		"T1 exp-rounds = Σ over phases of EXPAND distance-doubling rounds")
+	return t
+}
+
+// E2: density sweep at fixed n and small diameter: the
+// log log_{m/n} n term shrinks as density grows.
+func E2(scale Scale) *Table {
+	t := &Table{
+		ID:    "E2",
+		Title: "rounds vs density m/n (Gnm, fixed n)",
+		Claim: "denser graphs finish in fewer rounds: the log log_{m/n} n term",
+		Header: []string{"n", "m/n", "T3 prep", "T3 rounds", "T3 maxlvl",
+			"T1 phases", "T1 exp-rounds"},
+	}
+	n := 20000
+	if scale == Full {
+		n = 100000
+	}
+	for _, dens := range []int{2, 4, 8, 32, 128} {
+		g := graph.Gnm(n, n*dens, int64(dens))
+		c := core.Run(pram.New(0), g, core.DefaultParams(13))
+		b := ccbase.Run(pram.New(0), g, ccbase.DefaultParams(13))
+		t.Add(n, dens, c.Prep, c.Rounds, c.MaxLevel, b.Phases, sumExpandRounds(b.Trace))
+	}
+	return t
+}
+
+// E3: n sweep at fixed density: Theorem 1/3 grow like log log n while
+// Vanilla grows like log n.
+func E3(scale Scale) *Table {
+	t := &Table{
+		ID:    "E3",
+		Title: "rounds vs n (Gnm, m/n = 4)",
+		Claim: "T1/T3 rounds grow like log log n; Vanilla like log n",
+		Header: []string{"n", "T3 prep+rounds", "T1 phases", "T1 exp-rounds",
+			"vanilla phases", "SV rounds"},
+	}
+	sizes := []int{1000, 10000, 100000}
+	if scale == Full {
+		sizes = []int{1000, 10000, 100000, 1000000}
+	}
+	for _, n := range sizes {
+		g := graph.Gnm(n, 4*n, int64(n))
+		c := core.Run(pram.New(0), g, core.DefaultParams(17))
+		b := ccbase.Run(pram.New(0), g, ccbase.DefaultParams(17))
+		v := vanilla.Run(pram.New(0), g, 17, 0)
+		sv := baseline.ShiloachVishkin(pram.New(0), g)
+		t.Add(n, fmt.Sprintf("%d+%d", c.Prep, c.Rounds), b.Phases,
+			sumExpandRounds(b.Trace), v.Phases, sv.Rounds)
+	}
+	return t
+}
+
+// E4: Lemma 3.10/D.13 — cumulative block space stays O(m).
+func E4(scale Scale) *Table {
+	t := &Table{
+		ID:    "E4",
+		Title: "block space vs m (Theorem 3)",
+		Claim: "Σ block allocations over all rounds = O(m) (Lemma 3.10)",
+		Header: []string{"workload", "n", "m", "cum block words", "cum/m",
+			"peak round words", "added edges"},
+	}
+	type wl struct {
+		name string
+		g    *graph.Graph
+	}
+	var wls []wl
+	if scale == Full {
+		wls = []wl{
+			{"gnm-1e5x8", graph.Gnm(100000, 800000, 1)},
+			{"gnm-3e5x8", graph.Gnm(300000, 2400000, 2)},
+			{"beads-512", beads(512, 3)},
+			{"beads-2048", beads(2048, 4)},
+		}
+	} else {
+		wls = []wl{
+			{"gnm-2e4x8", graph.Gnm(20000, 160000, 1)},
+			{"beads-128", beads(128, 3)},
+		}
+	}
+	for _, w := range wls {
+		c := core.Run(pram.New(0), w.g, core.DefaultParams(23))
+		mm := w.g.NumEdges()
+		t.Add(w.name, w.g.N, mm, c.CumBlockWords,
+			float64(c.CumBlockWords)/float64(mm), c.PeakBlockWords, c.AddedEdges)
+	}
+	return t
+}
+
+// E5: Lemma 3.19/D.23 — the maximum level stays below
+// L = O(max{2, log log_{m/n} n}).
+func E5(scale Scale) *Table {
+	t := &Table{
+		ID:     "E5",
+		Title:  "maximum level vs the bound L",
+		Claim:  "levels never exceed L = O(max{2, log log_{m/n} n}) (Lemma 3.19)",
+		Header: []string{"workload", "n", "m/n", "max level", "L(budget cap)"},
+	}
+	type wl struct {
+		name string
+		g    *graph.Graph
+	}
+	n := 20000
+	if scale == Full {
+		n = 200000
+	}
+	wls := []wl{
+		{"gnm-x2", graph.Gnm(n, 2*n, 5)},
+		{"gnm-x8", graph.Gnm(n, 8*n, 6)},
+		{"gnm-x64", graph.Gnm(n, 64*n, 7)},
+		{"beads", beads(n/24, 8)},
+	}
+	for _, w := range wls {
+		p := core.DefaultParams(29)
+		c := core.Run(pram.New(0), w.g, p)
+		// L = number of levels until the budget cap is reached:
+		// smallest ℓ with b1^(γ^(ℓ-1)) ≥ cap.
+		L := levelsToCap(w.g, p)
+		t.Add(w.name, w.g.N, float64(w.g.NumEdges())/float64(w.g.N), c.MaxLevel, L)
+	}
+	return t
+}
+
+func levelsToCap(g *graph.Graph, p core.Params) int {
+	// Mirrors newBudgetTable's growth to find the saturation level,
+	// the scaled stand-in for L = O(max{2, log log_{m/n} n}).
+	b := float64(g.NumEdges()) / float64(g.N)
+	if b < p.MinBudget {
+		b = p.MinBudget
+	}
+	capV := p.BudgetCapFactor * float64(g.N+2) * p.BudgetCapFactor * float64(g.N+2)
+	l := 1
+	for b < capV && l < 64 {
+		nb := powMath(b, p.Growth)
+		if nb <= b+1 {
+			nb = b + 1
+		}
+		b = nb
+		l++
+	}
+	return l
+}
+
+// E6: Lemma 3.9/D.12 — the probability that a budget-b root raises its
+// budget in one round decays with b (double-exponential progress).
+func E6(scale Scale) *Table {
+	t := &Table{
+		ID:     "E6",
+		Title:  "per-level level-up probability (Theorem 3)",
+		Claim:  "P[budget b → b^γ in one round] ≤ n^{-5} + b^{-Ω(1)} (Lemma 3.9)",
+		Header: []string{"level", "budget b", "root-rounds", "level-ups", "empirical P"},
+	}
+	n := 20000
+	if scale == Full {
+		n = 200000
+	}
+	rootRounds := map[int32]int{}
+	ups := map[int32]int{}
+	for seed := uint64(1); seed <= 5; seed++ {
+		g := graph.Gnm(n, 16*n, int64(seed)) // m/n = 16 skips PREPARE
+		p := core.DefaultParams(seed)
+		c := core.Run(pram.New(0), g, p)
+		for _, tr := range c.Trace {
+			for lvl, cnt := range tr.LevelHist {
+				rootRounds[lvl] += cnt
+			}
+			for lvl, cnt := range tr.LevelUpsByLevel {
+				ups[lvl] += cnt
+			}
+		}
+	}
+	var levels []int32
+	for l := range rootRounds {
+		levels = append(levels, l)
+	}
+	sort.Slice(levels, func(i, j int) bool { return levels[i] < levels[j] })
+	bt := budgetsForDefault(n, 16)
+	for _, l := range levels {
+		p := 0.0
+		if rootRounds[l] > 0 {
+			p = float64(ups[l]) / float64(rootRounds[l])
+		}
+		t.Add(l, bt(l), rootRounds[l], ups[l], p)
+	}
+	t.Notes = append(t.Notes, "aggregated over 5 seeds; Gnm with m/n = 16")
+	return t
+}
+
+// E7: success probability — every algorithm correct across seeds;
+// bad-probability events (Failed flags) counted.
+func E7(scale Scale) *Table {
+	t := &Table{
+		ID:     "E7",
+		Title:  "success probability across seeds",
+		Claim:  "algorithms succeed with probability 1 − 1/poly (good probability)",
+		Header: []string{"algorithm", "runs", "correct", "failed-flag"},
+	}
+	seeds := 10
+	if scale == Full {
+		seeds = 50
+	}
+	gs := []*graph.Graph{
+		graph.Gnm(5000, 20000, 1),
+		beads(64, 2),
+		graph.DisjointUnion(graph.Path(700), graph.Gnm(3000, 9000, 3), graph.Clique(40)),
+		graph.Permuted(graph.Grid2D(50, 60), 4),
+	}
+	type res struct{ runs, correct, failed int }
+	agg := map[string]*res{}
+	rec := func(name string, ok, failed bool) {
+		r := agg[name]
+		if r == nil {
+			r = &res{}
+			agg[name] = r
+		}
+		r.runs++
+		if ok {
+			r.correct++
+		}
+		if failed {
+			r.failed++
+		}
+	}
+	for _, g := range gs {
+		for s := 0; s < seeds; s++ {
+			seed := uint64(s + 1)
+			c := core.Run(pram.New(0), g, core.DefaultParams(seed))
+			rec("Thm3 fast CC", check.Components(g, c.Labels) == nil, c.Failed)
+			b := ccbase.Run(pram.New(0), g, ccbase.DefaultParams(seed))
+			rec("Thm1 loglog CC", check.Components(g, b.Labels) == nil, b.Failed)
+			f := spanning.Run(pram.New(0), g, spanning.DefaultParams(seed))
+			okf := check.Components(g, f.Labels) == nil && check.Forest(g, f.ForestEdges) == nil
+			rec("Thm2 spanning forest", okf, f.Failed)
+			v := vanilla.Run(pram.New(0), g, seed, 0)
+			rec("Vanilla", check.Components(g, v.Labels) == nil, false)
+		}
+	}
+	var names []string
+	for n := range agg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r := agg[n]
+		t.Add(n, r.runs, r.correct, r.failed)
+	}
+	return t
+}
+
+// E8: Theorem 2 — spanning forest validity and round counts.
+func E8(scale Scale) *Table {
+	t := &Table{
+		ID:    "E8",
+		Title: "spanning forest (Theorem 2)",
+		Claim: "same asymptotic rounds as Theorem 1; output is a spanning forest",
+		Header: []string{"workload", "n", "phases", "Σexp-rounds", "forest edges",
+			"expected", "valid"},
+	}
+	type wl struct {
+		name string
+		g    *graph.Graph
+	}
+	nb := 64
+	gn := 20000
+	if scale == Full {
+		nb = 512
+		gn = 100000
+	}
+	wls := []wl{
+		{"beads", beads(nb, 5)},
+		{"gnm-x4", graph.Gnm(gn, 4*gn, 6)},
+		{"grid", graph.Grid2D(100, 100)},
+		{"multi-comp", graph.DisjointUnion(graph.Path(500), graph.Gnm(5000, 20000, 7), graph.Star(300))},
+	}
+	for _, w := range wls {
+		f := spanning.Run(pram.New(0), w.g, spanning.DefaultParams(31))
+		sum := 0
+		for _, tr := range f.Trace {
+			sum += tr.ExpandRounds
+		}
+		expected := w.g.N - w.g.NumComponents()
+		valid := check.Forest(w.g, f.ForestEdges) == nil
+		t.Add(w.name, w.g.N, f.Phases, sum, len(f.ForestEdges), expected, valid)
+	}
+	return t
+}
+
+// E9: baselines — Θ(d) label propagation vs O(log d) matrix squaring
+// (with Θ(n³) work) vs the paper's algorithms.
+func E9(scale Scale) *Table {
+	t := &Table{
+		ID:    "E9",
+		Title: "baseline rounds and work",
+		Claim: "label propagation is Θ(d); matrix squaring is O(log d) but work-infeasible (footnote 3)",
+		Header: []string{"workload", "n", "d(est)", "T3 rounds", "SV", "AS", "LT-PA", "LT-EA",
+			"leadctr", "labelprop", "matsq rounds", "matsq work"},
+	}
+	type wl struct {
+		name string
+		g    *graph.Graph
+	}
+	wls := []wl{
+		{"path-512", graph.Path(512)},
+		{"grid-24x24", graph.Grid2D(24, 24)},
+		{"beads-48", graph.CliqueBeads(graph.CliqueBeadsSpec{Beads: 48, Size: 8, IntraDeg: 7, Bridges: 1, Seed: 9})},
+		{"gnm-1024x4", graph.Gnm(1024, 4096, 10)},
+	}
+	for _, w := range wls {
+		d := w.g.DiameterEstimate()
+		c := core.Run(pram.New(0), w.g, core.DefaultParams(37))
+		sv := baseline.ShiloachVishkin(pram.New(0), w.g)
+		as := baseline.AwerbuchShiloach(pram.New(0), w.g)
+		pa := baseline.LiuTarjan(pram.New(0), w.g, baseline.LTVariant{Name: "PA", Link: baseline.LinkParent, Alter: true})
+		ea := baseline.LiuTarjanMinLink(pram.New(0), w.g)
+		lc := baseline.LeaderContraction(pram.New(0), w.g)
+		lp := baseline.LabelPropagation(pram.New(0), w.g)
+		ms := baseline.MatrixSquaring(pram.New(0), w.g)
+		msWork := int64(ms.Rounds) * int64(w.g.N) * int64(w.g.N) * int64(w.g.N) / 64
+		t.Add(w.name, w.g.N, d, fmt.Sprintf("%d+%d", c.Prep, c.Rounds), sv.Rounds,
+			as.Rounds, pa.Rounds, ea.Rounds, lc.Rounds, lp.Rounds, ms.Rounds, msWork)
+	}
+	t.Notes = append(t.Notes, "matsq work = rounds · n³/64 bitset word operations")
+	return t
+}
+
+// E10: ablations of the design choices §1.2.2 calls out.
+func E10(scale Scale) *Table {
+	t := &Table{
+		ID:    "E10",
+		Title: "ablations (Theorem 3 design choices)",
+		Claim: "MAXLINK needs 2 iterations; the random boost protects the space bound; budget growth trades rounds vs space",
+		Header: []string{"variant", "rounds", "max level", "cum words/m", "failed",
+			"correct"},
+	}
+	nb := 128
+	if scale == Full {
+		nb = 512
+	}
+	g := beads(nb, 41)
+	mm := float64(g.NumEdges())
+	run := func(name string, mod func(*core.Params)) {
+		p := core.DefaultParams(43)
+		mod(&p)
+		c := core.Run(pram.New(0), g, p)
+		t.Add(name, c.Rounds, c.MaxLevel, float64(c.CumBlockWords)/mm, c.Failed,
+			check.Components(g, c.Labels) == nil)
+	}
+	run("default (2×MAXLINK, boost, γ=1.15)", func(p *core.Params) {})
+	run("MAXLINK ×1", func(p *core.Params) { p.MaxLinkIters = 1 })
+	run("no boost (step 2 off)", func(p *core.Params) { p.DisableBoost = true })
+	run("γ=1.1", func(p *core.Params) { p.Growth = 1.1 })
+	run("γ=1.4", func(p *core.Params) { p.Growth = 1.4 })
+	run("γ=2.0", func(p *core.Params) { p.Growth = 2.0 })
+
+	// Theorem 1 mode comparison (§B.5).
+	for _, mode := range []ccbase.Mode{ccbase.ModeArbitrary, ccbase.ModeCombining} {
+		p := ccbase.DefaultParams(43)
+		p.Mode = mode
+		b := ccbase.Run(pram.New(0), g, p)
+		name := "T1 ARBITRARY (ñ rule)"
+		if mode == ccbase.ModeCombining {
+			name = "T1 COMBINING (exact n′)"
+		}
+		t.Add(name, b.Phases, "-", "-", b.Failed, check.Components(g, b.Labels) == nil)
+	}
+	return t
+}
+
+// budgetsForDefault reproduces the default budget schedule for a Gnm
+// workload with the given density at size n, for reporting.
+func budgetsForDefault(n int, density float64) func(int32) int64 {
+	p := core.DefaultParams(0)
+	b := density
+	if b < p.MinBudget {
+		b = p.MinBudget
+	}
+	capV := p.BudgetCapFactor * float64(n)
+	var bs []int64
+	bs = append(bs, 0)
+	cur := b
+	for len(bs) < 64 {
+		if cur >= capV {
+			bs = append(bs, int64(capV))
+			break
+		}
+		bs = append(bs, int64(cur))
+		nb := powMath(cur, p.Growth)
+		if nb <= cur+1 {
+			nb = cur + 1
+		}
+		cur = nb
+	}
+	return func(l int32) int64 {
+		if l <= 0 {
+			return 0
+		}
+		if int(l) < len(bs) {
+			return bs[l]
+		}
+		return bs[len(bs)-1]
+	}
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FprintMarkdown renders the table as GitHub-flavoured markdown.
+func (t *Table) FprintMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	if t.Claim != "" {
+		if _, err := fmt.Fprintf(w, "**Claim:** %s\n\n", t.Claim); err != nil {
+			return err
+		}
+	}
+	row := func(cells []string) error {
+		_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+		return err
+	}
+	if err := row(t.Header); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if err := row(sep); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := row(r); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "\n*%s*\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// FprintCSV renders the table as CSV with a leading header row. The
+// experiment id is prefixed as the first column so multiple tables can
+// share one file.
+func (t *Table) FprintCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"experiment"}, t.Header...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(append([]string{t.ID}, r...)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Format names a rendering style for RenderTo.
+type Format int
+
+const (
+	// FormatText is the aligned plain-text rendering (Fprint).
+	FormatText Format = iota
+	// FormatMarkdown is GitHub-flavoured markdown.
+	FormatMarkdown
+	// FormatCSV is comma-separated values.
+	FormatCSV
+)
+
+// ParseFormat maps a flag value to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "text", "":
+		return FormatText, nil
+	case "markdown", "md":
+		return FormatMarkdown, nil
+	case "csv":
+		return FormatCSV, nil
+	}
+	return 0, fmt.Errorf("bench: unknown format %q (want text, markdown, or csv)", s)
+}
+
+// RenderTo renders the table in the given format.
+func (t *Table) RenderTo(w io.Writer, f Format) error {
+	switch f {
+	case FormatMarkdown:
+		return t.FprintMarkdown(w)
+	case FormatCSV:
+		return t.FprintCSV(w)
+	default:
+		t.Fprint(w)
+		return nil
+	}
+}

@@ -1,0 +1,5 @@
+package bench
+
+import "math"
+
+func powMath(b, e float64) float64 { return math.Pow(b, e) }

@@ -1,0 +1,115 @@
+package check
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/graph"
+)
+
+func TestSamePartitionAccepts(t *testing.T) {
+	a := []int32{0, 0, 1, 1, 2}
+	b := []int32{9, 9, 4, 4, 7} // same partition, different labels
+	if err := SamePartition(a, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamePartitionRejectsSplit(t *testing.T) {
+	a := []int32{0, 0, 0}
+	b := []int32{1, 1, 2}
+	if err := SamePartition(a, b); err == nil {
+		t.Fatal("split not detected")
+	}
+}
+
+func TestSamePartitionRejectsMerge(t *testing.T) {
+	a := []int32{0, 1}
+	b := []int32{5, 5}
+	if err := SamePartition(a, b); err == nil {
+		t.Fatal("merge not detected")
+	}
+}
+
+func TestSamePartitionLengthMismatch(t *testing.T) {
+	if err := SamePartition([]int32{0}, []int32{0, 1}); err == nil {
+		t.Fatal("length mismatch not detected")
+	}
+}
+
+func TestSamePartitionProperty(t *testing.T) {
+	// Relabeling by any injective map preserves the partition.
+	f := func(labels []uint8, offset int32) bool {
+		a := make([]int32, len(labels))
+		b := make([]int32, len(labels))
+		for i, l := range labels {
+			a[i] = int32(l)
+			b[i] = int32(l)*7 + offset // injective transform
+		}
+		return SamePartition(a, b) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForestAcceptsSpanningTree(t *testing.T) {
+	g := graph.Path(5)
+	if err := Forest(g, []int{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForestRejectsCycle(t *testing.T) {
+	g := graph.Cycle(4)
+	if err := Forest(g, []int{0, 1, 2, 3}); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestForestRejectsIncomplete(t *testing.T) {
+	g := graph.Path(5)
+	if err := Forest(g, []int{0, 1}); err == nil {
+		t.Fatal("undersized forest accepted")
+	}
+}
+
+func TestForestRejectsDuplicates(t *testing.T) {
+	g := graph.Path(3)
+	if err := Forest(g, []int{0, 0}); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+}
+
+func TestForestRejectsOutOfRange(t *testing.T) {
+	g := graph.Path(3)
+	if err := Forest(g, []int{7}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestForestMultiComponent(t *testing.T) {
+	g := graph.DisjointUnion(graph.Path(3), graph.Path(3))
+	// Edges 0,1 span the first path; 2,3 the second.
+	if err := Forest(g, []int{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComponentsOracle(t *testing.T) {
+	g := graph.DisjointUnion(graph.Clique(4), graph.Star(5))
+	good := g.ComponentsBFS()
+	if err := Components(g, good); err != nil {
+		t.Fatal(err)
+	}
+	bad := make([]int32, g.N)
+	if err := Components(g, bad); err == nil {
+		t.Fatal("all-zero labeling accepted for 2-component graph")
+	}
+}
+
+func TestNumLabels(t *testing.T) {
+	if NumLabels([]int32{1, 1, 2, 3, 3, 3}) != 3 {
+		t.Fatal("wrong label count")
+	}
+}

@@ -1,0 +1,38 @@
+package hashing
+
+import "testing"
+
+func BenchmarkPairwiseEval(b *testing.B) {
+	h := Family{Seed: 1}.At(0)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += h.Eval(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkTableTryInsert(b *testing.B) {
+	t := NewTable(Family{Seed: 1}.At(0), 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i&0xffff == 0 {
+			t.Clear()
+		}
+		t.TryInsert(int32(i & 0x7fffffff))
+	}
+}
+
+func BenchmarkTableOccupiedIteration(b *testing.B) {
+	t := NewTable(Family{Seed: 1}.At(0), 1<<14)
+	for i := int32(0); i < 4096; i++ {
+		t.TryInsert(i)
+	}
+	b.ResetTimer()
+	var sink int32
+	for i := 0; i < b.N; i++ {
+		for _, v := range t.Occupied() {
+			sink += v
+		}
+	}
+	_ = sink
+}

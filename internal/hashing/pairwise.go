@@ -1,0 +1,75 @@
+// Package hashing provides the paper's hashing toolkit: a pairwise-
+// independent hash family over the Mersenne prime p = 2^61 − 1, and
+// fixed-size hash tables with the re-read collision-detection trick of
+// §3.3 ("a collision can be detected using the same hash function to
+// check the same location again"). All hash functions in the paper are
+// pairwise independent so that each hashing processor reads only two
+// words (a, b) of shared randomness; we mirror that exactly.
+package hashing
+
+import "math/bits"
+
+// MersenneP is the modulus 2^61 − 1.
+const MersenneP = (1 << 61) - 1
+
+// Pairwise is a hash function h(x) = ((a·x + b) mod p) drawn from a
+// pairwise-independent family. Range reduction to a table of size k is
+// done by Slot.
+type Pairwise struct {
+	A, B uint64 // coefficients in [0, p); A should be nonzero
+}
+
+// NewPairwise derives a hash function from two raw random words,
+// reducing them into the field and forcing A nonzero.
+func NewPairwise(rawA, rawB uint64) Pairwise {
+	a := modP(rawA)
+	if a == 0 {
+		a = 1
+	}
+	return Pairwise{A: a, B: modP(rawB)}
+}
+
+// modP reduces a 64-bit value modulo 2^61−1.
+func modP(x uint64) uint64 {
+	x = (x & MersenneP) + (x >> 61)
+	if x >= MersenneP {
+		x -= MersenneP
+	}
+	return x
+}
+
+// mulModP multiplies two field elements modulo 2^61−1 using the
+// Mersenne folding identity 2^64 ≡ 8. For a, b < 2^61 the high word
+// hi < 2^58, so hi<<3 < 2^61 cannot overflow.
+func mulModP(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return modP(modP(lo) + modP(hi<<3))
+}
+
+// Eval returns h(x) ∈ [0, p).
+func (h Pairwise) Eval(x uint64) uint64 {
+	return modP(mulModP(h.A, modP(x)) + h.B)
+}
+
+// Slot returns h(x) reduced to a table slot in [0, k).
+func (h Pairwise) Slot(x uint64, k int) int {
+	return int(h.Eval(x) % uint64(k))
+}
+
+// Family deterministically derives independent Pairwise functions from
+// a seed; function i is independent of function j ≠ i.
+type Family struct {
+	Seed uint64
+}
+
+// At returns the i-th function of the family.
+func (f Family) At(i uint64) Pairwise {
+	return NewPairwise(splitmix(f.Seed^splitmix(2*i)), splitmix(f.Seed^splitmix(2*i+1)))
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

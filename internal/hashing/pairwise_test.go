@@ -1,0 +1,132 @@
+package hashing
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestModP(t *testing.T) {
+	cases := []uint64{0, 1, MersenneP - 1, MersenneP, MersenneP + 1, 1<<62 + 12345, ^uint64(0)}
+	for _, x := range cases {
+		want := new(big.Int).Mod(new(big.Int).SetUint64(x), big.NewInt(MersenneP)).Uint64()
+		if got := modP(x); got != want {
+			t.Errorf("modP(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestModPProperty(t *testing.T) {
+	f := func(x uint64) bool {
+		want := new(big.Int).Mod(new(big.Int).SetUint64(x), big.NewInt(MersenneP)).Uint64()
+		return modP(x) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulModPProperty(t *testing.T) {
+	p := big.NewInt(MersenneP)
+	f := func(a, b uint64) bool {
+		a, b = modP(a), modP(b)
+		want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+		want.Mod(want, p)
+		return mulModP(a, b) == want.Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairwiseDeterministic(t *testing.T) {
+	h := NewPairwise(12345, 67890)
+	for x := uint64(0); x < 100; x++ {
+		if h.Eval(x) != h.Eval(x) {
+			t.Fatalf("Eval(%d) not deterministic", x)
+		}
+	}
+}
+
+func TestPairwiseLinear(t *testing.T) {
+	// h(x) = a·x + b mod p exactly.
+	h := NewPairwise(999, 7)
+	p := big.NewInt(MersenneP)
+	for x := uint64(0); x < 50; x++ {
+		want := new(big.Int).SetUint64(h.A)
+		want.Mul(want, new(big.Int).SetUint64(x))
+		want.Add(want, new(big.Int).SetUint64(h.B))
+		want.Mod(want, p)
+		if got := h.Eval(x); got != want.Uint64() {
+			t.Fatalf("Eval(%d) = %d, want %d", x, got, want.Uint64())
+		}
+	}
+}
+
+func TestSlotRange(t *testing.T) {
+	f := func(rawA, rawB, x uint64, k uint16) bool {
+		kk := int(k%1000) + 1
+		s := NewPairwise(rawA, rawB).Slot(x, kk)
+		return s >= 0 && s < kk
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlotUniformity(t *testing.T) {
+	// χ²-ish sanity: hashing 0..N-1 into K slots should put roughly
+	// N/K in each slot (within 5× for a crude bound).
+	const N, K = 100000, 64
+	counts := make([]int, K)
+	h := Family{Seed: 42}.At(3)
+	for x := 0; x < N; x++ {
+		counts[h.Slot(uint64(x), K)]++
+	}
+	want := N / K
+	for s, c := range counts {
+		if c < want/5 || c > want*5 {
+			t.Fatalf("slot %d has %d items, want ≈%d", s, c, want)
+		}
+	}
+}
+
+func TestPairwiseCollisionRate(t *testing.T) {
+	// Pairwise independence ⇒ P[h(x)=h(y)] ≈ 1/K for x≠y. Estimate
+	// over many function draws.
+	const K = 97
+	collisions, trials := 0, 0
+	for fi := uint64(0); fi < 400; fi++ {
+		h := Family{Seed: 7}.At(fi)
+		for x := uint64(0); x < 30; x++ {
+			for y := x + 1; y < 30; y++ {
+				trials++
+				if h.Slot(x, K) == h.Slot(y, K) {
+					collisions++
+				}
+			}
+		}
+	}
+	rate := float64(collisions) / float64(trials)
+	if rate > 3.0/K || rate < 0.2/K {
+		t.Fatalf("collision rate %.5f far from 1/K = %.5f", rate, 1.0/K)
+	}
+}
+
+func TestFamilyIndependentFunctions(t *testing.T) {
+	f0, f1 := Family{Seed: 1}.At(0), Family{Seed: 1}.At(1)
+	if f0 == f1 {
+		t.Fatal("family returned identical functions for different indices")
+	}
+	g0 := Family{Seed: 2}.At(0)
+	if f0 == g0 {
+		t.Fatal("different seeds gave identical functions")
+	}
+}
+
+func TestNewPairwiseNonzeroA(t *testing.T) {
+	h := NewPairwise(0, 0)
+	if h.A == 0 {
+		t.Fatal("A must be nonzero")
+	}
+}

@@ -1,0 +1,207 @@
+package hashing
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTestTable(k int) *Table {
+	return NewTable(Family{Seed: 99}.At(0), k)
+}
+
+func TestTableInsertContains(t *testing.T) {
+	tb := newTestTable(64)
+	tb.Insert(5)
+	if !tb.Contains(5) {
+		t.Fatal("5 not found after insert")
+	}
+	if tb.Collides(5) {
+		t.Fatal("5 must not collide with itself")
+	}
+}
+
+func TestTableCollisionDetection(t *testing.T) {
+	// Force a collision: find two values in the same slot of a tiny table.
+	tb := newTestTable(2)
+	var a, b int32 = -1, -1
+	for x := int32(0); x < 100 && b < 0; x++ {
+		if a < 0 {
+			a = x
+			continue
+		}
+		if tb.Hash(x) == tb.Hash(a) {
+			b = x
+		}
+	}
+	if b < 0 {
+		t.Skip("no colliding pair found (astronomically unlikely)")
+	}
+	tb.Insert(a)
+	tb.Insert(b) // overwrites
+	if !tb.Collides(a) {
+		t.Error("a must detect collision after overwrite")
+	}
+	if tb.Collides(b) {
+		t.Error("b occupies its slot, no collision for b")
+	}
+}
+
+func TestTryInsertFirstWins(t *testing.T) {
+	tb := newTestTable(2)
+	var a, b int32 = -1, -1
+	for x := int32(0); x < 100 && b < 0; x++ {
+		if a < 0 {
+			a = x
+			continue
+		}
+		if tb.Hash(x) == tb.Hash(a) {
+			b = x
+		}
+	}
+	if b < 0 {
+		t.Skip("no colliding pair")
+	}
+	if !tb.TryInsert(a) {
+		t.Fatal("first insert must succeed")
+	}
+	if tb.TryInsert(b) {
+		t.Fatal("colliding insert must not overwrite")
+	}
+	if !tb.Contains(a) || tb.Contains(b) {
+		t.Fatal("first writer must win")
+	}
+	if !tb.Collides(b) {
+		t.Fatal("loser must observe a collision")
+	}
+	if tb.TryInsert(a) {
+		t.Fatal("re-inserting present value is not an add")
+	}
+}
+
+func TestTableEntriesLen(t *testing.T) {
+	tb := newTestTable(128)
+	vals := []int32{3, 17, 42, 99}
+	for _, v := range vals {
+		tb.TryInsert(v)
+	}
+	if got := tb.Len(); got != len(vals) {
+		t.Fatalf("Len = %d, want %d", got, len(vals))
+	}
+	got := map[int32]bool{}
+	for _, v := range tb.Entries(nil) {
+		got[v] = true
+	}
+	for _, v := range vals {
+		if !got[v] {
+			t.Fatalf("entry %d missing", v)
+		}
+	}
+}
+
+func TestTableClear(t *testing.T) {
+	tb := newTestTable(16)
+	tb.Insert(1)
+	tb.Clear()
+	if tb.Len() != 0 {
+		t.Fatal("table not empty after Clear")
+	}
+}
+
+func TestTableClone(t *testing.T) {
+	tb := newTestTable(16)
+	tb.Insert(7)
+	c := tb.Clone()
+	tb.Insert(9)
+	if c.Contains(9) && c.Hash(9) != c.Hash(7) {
+		t.Fatal("clone shares storage with original")
+	}
+	if !c.Contains(7) {
+		t.Fatal("clone lost entry")
+	}
+}
+
+func TestTableMap(t *testing.T) {
+	tb := newTestTable(64)
+	tb.Insert(4)
+	tb.Insert(8)
+	tb.Map(func(v int32) int32 { return v + 1 })
+	found := map[int32]bool{}
+	for _, v := range tb.Entries(nil) {
+		found[v] = true
+	}
+	if !found[5] || !found[9] {
+		t.Fatalf("map results wrong: %v", found)
+	}
+}
+
+func TestTableNoFalseCollisions(t *testing.T) {
+	// Inserting distinct values into a large table: each present value
+	// must not collide with itself.
+	f := func(seed uint64, raw []int32) bool {
+		tb := NewTable(Family{Seed: seed}.At(1), 4096)
+		for _, v := range raw {
+			if v < 0 {
+				v = -v
+			}
+			tb.TryInsert(v)
+		}
+		for i := 0; i < tb.Size(); i++ {
+			if v := tb.At(i); v != Empty && tb.Collides(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinTableSize(t *testing.T) {
+	tb := NewTable(Family{Seed: 1}.At(0), 0)
+	if tb.Size() < 1 {
+		t.Fatal("table must have at least one cell")
+	}
+}
+
+// TestTryInsertTotalAccounting (property): after any TryInsert
+// sequence, every inserted value either occupies its slot (Contains)
+// or observes a collision (Collides); the occupancy list holds exactly
+// the winners, with no duplicates.
+func TestTryInsertTotalAccounting(t *testing.T) {
+	f := func(seed uint64, raw []int16) bool {
+		tb := NewTable(Family{Seed: seed}.At(2), 64)
+		inserted := map[int32]bool{}
+		for _, r := range raw {
+			v := int32(r)
+			if v < 0 {
+				v = -v
+			}
+			tb.TryInsert(v)
+			inserted[v] = true
+		}
+		occ := tb.Occupied()
+		seen := map[int32]bool{}
+		for _, w := range occ {
+			if seen[w] {
+				return false // duplicate winner
+			}
+			seen[w] = true
+			if !tb.Contains(w) {
+				return false // winner must occupy its slot
+			}
+		}
+		for v := range inserted {
+			if tb.Contains(v) != !tb.Collides(v) {
+				return false // exactly one of Contains/Collides
+			}
+			if tb.Contains(v) && !seen[v] {
+				return false // occupant missing from occupancy list
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package labels
+
+import (
+	"repro/graph"
+	"repro/internal/pram"
+)
+
+// ArcStore holds the current (altered) graph arcs together with the
+// identity of the original input arc each one descends from. ALTER
+// (§2.2) replaces arc (v,w) by (v.p, w.p); the original arc index is
+// what the spanning-forest algorithms mark (eˆ.f = 1 in §C).
+type ArcStore struct {
+	U, V []int32 // current endpoints, altered over rounds
+	Orig []int32 // index into the input graph's arc list, or -1 for added arcs
+}
+
+// NewArcStore copies the arcs of g; Orig[i] = i.
+func NewArcStore(g *graph.Graph) *ArcStore {
+	a := &ArcStore{
+		U:    make([]int32, len(g.U)),
+		V:    make([]int32, len(g.V)),
+		Orig: make([]int32, len(g.U)),
+	}
+	copy(a.U, g.U)
+	copy(a.V, g.V)
+	for i := range a.Orig {
+		a.Orig[i] = int32(i)
+	}
+	return a
+}
+
+// Len returns the number of arcs.
+func (a *ArcStore) Len() int { return len(a.U) }
+
+// Append adds an arc (u,v) descended from original arc orig (-1 for
+// edges added by EXPAND). Not safe for concurrent use; callers append
+// from the host between PRAM steps.
+func (a *ArcStore) Append(u, v, orig int32) {
+	a.U = append(a.U, u)
+	a.V = append(a.V, v)
+	a.Orig = append(a.Orig, orig)
+}
+
+// Alter replaces every arc (v,w) by (v.p, w.p) in one PRAM step, one
+// processor per arc ("each edge corresponds to a distinct processor").
+func (a *ArcStore) Alter(m *pram.Machine, d *Digraph) {
+	u, v, par := a.U, a.V, d.Parent
+	m.Step(len(u), func(i int) {
+		u[i] = par[u[i]]
+		v[i] = par[v[i]]
+	})
+}
+
+// HasNonLoop reports (in one PRAM step) whether any arc is a non-loop;
+// the break condition of the Vanilla and Theorem-1 loops ("until no
+// edge exists other than loops").
+func (a *ArcStore) HasNonLoop(m *pram.Machine) bool {
+	var flag int64
+	u, v := a.U, a.V
+	m.Step(len(u), func(i int) {
+		if u[i] != v[i] {
+			pram.Store64(&flag, 1)
+		}
+	})
+	return pram.Load64(&flag) == 1
+}
+
+// MarkIncident sets inc[x]=1 for every endpoint of a non-loop arc, in
+// one PRAM step. Lemma B.2 uses this to identify ongoing vertices.
+func (a *ArcStore) MarkIncident(m *pram.Machine, inc []int32) {
+	pram.Fill32(inc, 0)
+	u, v := a.U, a.V
+	m.Step(len(u), func(i int) {
+		if u[i] != v[i] {
+			pram.Store32(&inc[u[i]], 1)
+			pram.Store32(&inc[v[i]], 1)
+		}
+	})
+}

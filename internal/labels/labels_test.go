@@ -1,0 +1,209 @@
+package labels
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/graph"
+	"repro/internal/pram"
+)
+
+func chain(n int) *Digraph {
+	d := NewSelfLabeled(n)
+	for i := 1; i < n; i++ {
+		d.Parent[i] = int32(i - 1)
+	}
+	return d
+}
+
+func TestSelfLabeled(t *testing.T) {
+	d := NewSelfLabeled(10)
+	for v := int32(0); v < 10; v++ {
+		if !d.IsRoot(v) || d.Root(v) != v {
+			t.Fatalf("vertex %d not self-labeled", v)
+		}
+	}
+	if d.N() != 10 {
+		t.Fatalf("N = %d", d.N())
+	}
+}
+
+func TestShortcutHalvesDepth(t *testing.T) {
+	m := pram.New(1)
+	d := chain(17) // height 16
+	iters := 0
+	for !d.IsFlat() {
+		d.Shortcut(m)
+		iters++
+		if iters > 10 {
+			t.Fatal("shortcut did not converge")
+		}
+	}
+	// ceil(log2(16)) = 4 shortcuts flatten a height-16 chain.
+	if iters > 5 {
+		t.Fatalf("flattening a height-16 chain took %d shortcuts", iters)
+	}
+	for v := 0; v < 17; v++ {
+		if d.Parent[v] != 0 {
+			t.Fatalf("vertex %d not pointing at root", v)
+		}
+	}
+}
+
+func TestShortcutReturnsChangeFlag(t *testing.T) {
+	m := pram.New(1)
+	d := chain(5)
+	if d.Shortcut(m) == 0 {
+		t.Fatal("shortcut on a chain must report changes")
+	}
+	d.Flatten(m)
+	if d.Shortcut(m) != 0 {
+		t.Fatal("shortcut on a flat digraph must report no change")
+	}
+}
+
+func TestFlattenIterationsLogarithmic(t *testing.T) {
+	m := pram.New(1)
+	d := chain(1 << 12)
+	iters := d.Flatten(m)
+	if iters > 14 {
+		t.Fatalf("flatten of 4096-chain took %d iterations, want ≈12", iters)
+	}
+	if !d.IsFlat() {
+		t.Fatal("not flat after Flatten")
+	}
+}
+
+func TestCheckAcyclic(t *testing.T) {
+	d := chain(6)
+	if err := d.CheckAcyclic(); err != nil {
+		t.Fatalf("chain reported cyclic: %v", err)
+	}
+	d.Parent[0] = 5 // close the cycle
+	if err := d.CheckAcyclic(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestCheckAcyclicProperty(t *testing.T) {
+	// Random parent assignments where parent[v] < v are always acyclic.
+	f := func(raw []uint8) bool {
+		n := len(raw) + 1
+		d := NewSelfLabeled(n)
+		for i := 1; i < n; i++ {
+			d.Parent[i] = int32(int(raw[i-1]) % i)
+		}
+		return d.CheckAcyclic() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRootsOf(t *testing.T) {
+	d := NewSelfLabeled(6)
+	d.Parent[1] = 0
+	d.Parent[2] = 1
+	d.Parent[4] = 3
+	roots := d.RootsOf()
+	want := []int32{0, 0, 0, 3, 3, 5}
+	for i, r := range roots {
+		if r != want[i] {
+			t.Fatalf("RootsOf[%d] = %d, want %d", i, r, want[i])
+		}
+	}
+}
+
+func TestTreeHeights(t *testing.T) {
+	d := chain(5)
+	byRoot, max := d.TreeHeights()
+	if max != 4 || byRoot[0] != 4 {
+		t.Fatalf("heights wrong: %v max=%d", byRoot, max)
+	}
+}
+
+func TestArcStoreAlter(t *testing.T) {
+	g := graph.Path(4) // arcs (0,1),(1,0),(1,2),(2,1),(2,3),(3,2)
+	a := NewArcStore(g)
+	d := NewSelfLabeled(4)
+	d.Parent[1] = 0
+	d.Parent[3] = 2
+	m := pram.New(1)
+	a.Alter(m, d)
+	// Arc (1,2) must become (0,2).
+	found := false
+	for i := 0; i < a.Len(); i++ {
+		if a.U[i] == 0 && a.V[i] == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("alter did not map arc endpoints to parents")
+	}
+	// Orig indices unchanged.
+	for i, o := range a.Orig {
+		if int(o) != i {
+			t.Fatal("orig index corrupted by alter")
+		}
+	}
+}
+
+func TestArcStoreHasNonLoop(t *testing.T) {
+	g := graph.Path(3)
+	a := NewArcStore(g)
+	m := pram.New(1)
+	if !a.HasNonLoop(m) {
+		t.Fatal("path arcs are non-loops")
+	}
+	d := NewSelfLabeled(3)
+	d.Parent[1] = 0
+	d.Parent[2] = 0
+	a.Alter(m, d)
+	if a.HasNonLoop(m) {
+		t.Fatal("all arcs should be loops after contracting to one root")
+	}
+}
+
+func TestMarkIncident(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 2) // self-loop must not mark
+	a := NewArcStore(g)
+	m := pram.New(1)
+	inc := make([]int32, 4)
+	a.MarkIncident(m, inc)
+	want := []int32{1, 1, 0, 0}
+	for i := range want {
+		if inc[i] != want[i] {
+			t.Fatalf("incident[%d] = %d, want %d", i, inc[i], want[i])
+		}
+	}
+}
+
+func TestAlterPreservesPartitionProperty(t *testing.T) {
+	// Alter maps arcs within the union of the graph partition induced
+	// by trees: endpoints stay in the same component of (graph ∪ trees).
+	f := func(seed int64) bool {
+		g := graph.Gnm(50, 100, seed)
+		a := NewArcStore(g)
+		d := NewSelfLabeled(50)
+		// Random valid links: parent to smaller id keeps acyclicity.
+		coin := pram.Coin{Seed: uint64(seed)}
+		for v := 1; v < 50; v++ {
+			if coin.Bernoulli(0, uint64(v), 0.5) {
+				d.Parent[v] = int32(coin.Intn(1, uint64(v), v))
+			}
+		}
+		m := pram.New(1)
+		a.Alter(m, d)
+		for i := 0; i < a.Len(); i++ {
+			if a.U[i] != d.Parent[g.U[i]] || a.V[i] != d.Parent[g.V[i]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

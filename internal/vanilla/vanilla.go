@@ -1,0 +1,99 @@
+// Package vanilla implements Reif's randomized algorithm in the
+// paper's framework (§B.1) and its spanning-forest extension
+// Vanilla-SF (§C.1). Each phase is RANDOM-VOTE; LINK; SHORTCUT; ALTER
+// and finishes each vertex with constant probability, so the algorithm
+// runs in O(log n) phases w.h.p. (Lemma B.3, Corollary B.4). It doubles
+// as the PREPARE / FOREST-PREPARE subroutine of the main algorithms.
+package vanilla
+
+import (
+	"repro/graph"
+	"repro/internal/labels"
+	"repro/internal/pram"
+)
+
+// State is the mutable execution state, shared with callers that embed
+// vanilla phases as preprocessing (PREPARE in §B.2, COMPACT in §D).
+type State struct {
+	D     *labels.Digraph
+	Arcs  *labels.ArcStore
+	Coin  pram.Coin
+	Phase int // phases executed so far
+
+	leader []int32 // u.l of the current phase
+}
+
+// NewState initializes the self-labeled digraph and arc store for g.
+func NewState(g *graph.Graph, seed uint64) *State {
+	return &State{
+		D:      labels.NewSelfLabeled(g.N),
+		Arcs:   labels.NewArcStore(g),
+		Coin:   pram.Coin{Seed: seed},
+		leader: make([]int32, g.N),
+	}
+}
+
+// RunPhase executes one phase of Vanilla algorithm and reports whether
+// any non-loop edge remains (the repeat-loop condition).
+func (s *State) RunPhase(m *pram.Machine) bool {
+	n := s.D.N()
+	coin := s.Coin
+	phase := uint64(s.Phase)
+	s.Phase++
+	leader := s.leader
+
+	// RANDOM-VOTE: u.l := 1 with probability 1/2.
+	m.Step(n, func(u int) {
+		if coin.Bernoulli(phase, uint64(u), 0.5) {
+			leader[u] = 1
+		} else {
+			leader[u] = 0
+		}
+	})
+
+	// LINK: for each graph arc (v,w): if v.l=0 and w.l=1, v.p := w.
+	// Trees are flat at phase start (Lemma B.2), so v and w are roots;
+	// concurrent writes to v.p resolve arbitrarily.
+	au, av, par := s.Arcs.U, s.Arcs.V, s.D.Parent
+	m.Step(s.Arcs.Len(), func(i int) {
+		v, w := au[i], av[i]
+		if v != w && leader[v] == 0 && leader[w] == 1 {
+			pram.Store32(&par[v], w)
+		}
+	})
+
+	// SHORTCUT; ALTER.
+	s.D.Shortcut(m)
+	s.Arcs.Alter(m, s.D)
+
+	return s.Arcs.HasNonLoop(m)
+}
+
+// Result is the outcome of a complete run.
+type Result struct {
+	Labels []int32 // final component labels (root of each tree)
+	Phases int
+	Stats  pram.Stats
+}
+
+// Run executes Vanilla algorithm until only loops remain. maxPhases
+// bounds the loop defensively (≤0 means 4·log2(n)+32).
+func Run(m *pram.Machine, g *graph.Graph, seed uint64, maxPhases int) Result {
+	s := NewState(g, seed)
+	if maxPhases <= 0 {
+		maxPhases = defaultPhaseCap(g.N)
+	}
+	for s.RunPhase(m) && s.Phase < maxPhases {
+	}
+	// All trees are flat and each component has one root (Lemma B.2).
+	s.D.Flatten(m)
+	return Result{Labels: s.D.Parent, Phases: s.Phase, Stats: m.Stats()}
+}
+
+func defaultPhaseCap(n int) int {
+	limit := 32
+	for x := n; x > 0; x >>= 1 {
+		limit += 4
+	}
+	return limit
+}

@@ -1,0 +1,163 @@
+package vanilla
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/graph"
+	"repro/internal/check"
+	"repro/internal/pram"
+)
+
+func TestVanillaCorrectness(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"path":     graph.Path(200),
+		"cycle":    graph.Cycle(128),
+		"star":     graph.Star(100),
+		"gnm":      graph.Gnm(1000, 3000, 3),
+		"multi":    graph.DisjointUnion(graph.Path(40), graph.Clique(10), graph.Star(25)),
+		"isolated": graph.WithIsolated(graph.Clique(5), 7),
+		"loops": func() *graph.Graph {
+			g := graph.Path(6)
+			g.AddEdge(2, 2)
+			return g
+		}(),
+	}
+	for name, g := range cases {
+		for seed := uint64(1); seed <= 5; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", name, seed), func(t *testing.T) {
+				res := Run(pram.New(1), g, seed, 0)
+				if err := check.Components(g, res.Labels); err != nil {
+					t.Fatalf("phases=%d: %v", res.Phases, err)
+				}
+			})
+		}
+	}
+}
+
+func TestVanillaPhasesLogarithmic(t *testing.T) {
+	// Corollary B.4: O(log n) phases w.h.p. Allow a generous constant.
+	for _, n := range []int{256, 1024, 4096} {
+		g := graph.Path(n)
+		res := Run(pram.New(1), g, 7, 0)
+		bound := 6*log2(n) + 10
+		if res.Phases > bound {
+			t.Fatalf("n=%d: %d phases > bound %d", n, res.Phases, bound)
+		}
+	}
+}
+
+func log2(n int) int {
+	l := 0
+	for x := 1; x < n; x <<= 1 {
+		l++
+	}
+	return l
+}
+
+func TestVanillaFlatAtPhaseStart(t *testing.T) {
+	// Lemma B.2: trees are flat at the start of every phase.
+	g := graph.Gnm(500, 1500, 9)
+	s := NewState(g, 3)
+	m := pram.New(1)
+	for i := 0; i < 20; i++ {
+		if !s.D.IsFlat() {
+			t.Fatalf("digraph not flat before phase %d", i)
+		}
+		if err := s.D.CheckAcyclic(); err != nil {
+			t.Fatalf("phase %d: %v", i, err)
+		}
+		if !s.RunPhase(m) {
+			break
+		}
+	}
+}
+
+func TestVanillaMonotone(t *testing.T) {
+	// Monotonicity (§2.1): the partition only coarsens; two vertices in
+	// the same tree stay in the same tree.
+	g := graph.Gnm(300, 900, 11)
+	s := NewState(g, 5)
+	m := pram.New(1)
+	prev := s.D.RootsOf()
+	for i := 0; i < 20; i++ {
+		if !s.RunPhase(m) {
+			break
+		}
+		cur := s.D.RootsOf()
+		// Every previous group must be contained in a current group.
+		rep := make(map[int32]int32)
+		for v := 0; v < g.N; v++ {
+			if r, ok := rep[prev[v]]; ok {
+				if cur[v] != r {
+					t.Fatalf("phase %d: tree split — vertices with old root %d now have roots %d and %d",
+						i, prev[v], r, cur[v])
+				}
+			} else {
+				rep[prev[v]] = cur[v]
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestVanillaSFCorrectAndValid(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"path":  graph.Path(128),
+		"gnm":   graph.Gnm(800, 2400, 3),
+		"multi": graph.DisjointUnion(graph.Cycle(50), graph.Clique(12)),
+		"grid":  graph.Grid2D(12, 12),
+	}
+	for name, g := range cases {
+		for seed := uint64(1); seed <= 5; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", name, seed), func(t *testing.T) {
+				res := RunSF(pram.New(1), g, seed, 0)
+				if err := check.Components(g, res.Labels); err != nil {
+					t.Fatalf("labels: %v", err)
+				}
+				if err := check.Forest(g, res.ForestEdges); err != nil {
+					t.Fatalf("forest: %v", err)
+				}
+			})
+		}
+	}
+}
+
+func TestVanillaSFForestGrowsMonotonically(t *testing.T) {
+	g := graph.Gnm(400, 1200, 13)
+	s := NewSFState(g, 2)
+	m := pram.New(1)
+	prevMarks := 0
+	for i := 0; i < 30; i++ {
+		cont := s.RunPhase(m)
+		marks := 0
+		for _, f := range s.ForestArc {
+			if f {
+				marks++
+			}
+		}
+		if marks < prevMarks {
+			t.Fatal("forest marks disappeared")
+		}
+		prevMarks = marks
+		if !cont {
+			break
+		}
+	}
+}
+
+func TestVanillaEmptyAndTinyGraphs(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		g := graph.New(n)
+		res := Run(pram.New(1), g, 1, 0)
+		if err := check.Components(g, res.Labels); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	res := Run(pram.New(1), g, 1, 0)
+	if res.Labels[0] != res.Labels[1] {
+		t.Fatal("single edge not contracted")
+	}
+}

@@ -1,0 +1,64 @@
+package pramcc
+
+// Option configures an algorithm run.
+type Option func(*config)
+
+type config struct {
+	seed         uint64
+	workers      int
+	maxRounds    int
+	maxPhases    int
+	growth       float64
+	minBudget    float64
+	disableBoost bool
+	maxLinkIters int
+	combining    bool
+}
+
+func defaultConfig() config {
+	return config{seed: 1, maxLinkIters: 2}
+}
+
+// WithSeed sets the random seed. Runs with the same seed make the same
+// random choices regardless of the worker count; only arbitrary-write
+// resolutions may differ.
+func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// WithWorkers sets the host worker-goroutine count backing the PRAM
+// simulation. 0 (the default) selects GOMAXPROCS; 1 gives a
+// deterministic sequential schedule.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithMaxRounds caps the main loop of ConnectedComponents (EXPAND-
+// MAXLINK rounds). Exhausting the cap is reported via Stats.Failed;
+// the returned labels are still correct because the Theorem-1
+// postprocessing stage finishes the job.
+func WithMaxRounds(n int) Option { return func(c *config) { c.maxRounds = n } }
+
+// WithMaxPhases caps the phase loops of ConnectedComponentsLogLog,
+// SpanningForest and VanillaComponents.
+func WithMaxPhases(n int) Option { return func(c *config) { c.maxPhases = n } }
+
+// WithBudgetGrowth sets the budget growth exponent γ (b_{ℓ+1} = b_ℓ^γ)
+// of ConnectedComponents. The paper's schedule is b_ℓ = b₁^{1.01^{ℓ−1}};
+// the default scaled value is 1.5. Used by ablation E10.
+func WithBudgetGrowth(gamma float64) Option { return func(c *config) { c.growth = gamma } }
+
+// WithMinBudget floors the initial budget b₁ of ConnectedComponents
+// (paper: max{m/n, log^c n}/log² n). Default 16.
+func WithMinBudget(b float64) Option { return func(c *config) { c.minBudget = b } }
+
+// WithoutBoost disables the step-(2) random level increase of
+// EXPAND-MAXLINK (ablation E10). The algorithm remains correct; the
+// space bound of Lemma 3.10 loses its proof.
+func WithoutBoost() Option { return func(c *config) { c.disableBoost = true } }
+
+// WithMaxLinkIters sets the number of MAXLINK iterations per call
+// (paper: 2; ablation E10 compares 1).
+func WithMaxLinkIters(n int) Option { return func(c *config) { c.maxLinkIters = n } }
+
+// WithCombining runs ConnectedComponentsLogLog and SpanningForest in
+// the COMBINING CRCW mode of §B.5 (the exact ongoing count n′ is
+// available each phase) instead of the default ARBITRARY mode with the
+// ñ update rule.
+func WithCombining() Option { return func(c *config) { c.combining = true } }

@@ -1,0 +1,228 @@
+package pramcc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/graph"
+	"repro/internal/ccbase"
+	"repro/internal/core"
+	"repro/internal/pram"
+	"repro/internal/spanning"
+	"repro/internal/vanilla"
+)
+
+// Stats reports simulated-PRAM costs of a run. Time is counted in
+// model steps/rounds, not wall clock.
+type Stats struct {
+	Rounds        int   // main-loop rounds (EXPAND-MAXLINK) or phases
+	PRAMSteps     int64 // simulated constant-time PRAM steps
+	Work          int64 // Σ steps × processors
+	MaxProcessors int64 // peak processors in one step
+	PeakSpace     int64 // peak allocated common-memory words
+	MaxLevel      int   // highest level reached (ConnectedComponents only)
+	CumBlockWords int64 // Σ block allocations (Lemma 3.10's O(m) quantity)
+	Prep          int   // Vanilla phases run by PREPARE/COMPACT
+	PostPhases    int   // Theorem-1 phases of the postprocessing stage
+	Failed        bool  // a bad-probability event occurred (see method docs)
+}
+
+// Result is a component labeling with run statistics.
+type Result struct {
+	// Labels assigns every vertex a component representative: two
+	// vertices are in the same component iff their labels are equal.
+	Labels []int32
+	// NumComponents is the number of distinct labels.
+	NumComponents int
+	Stats         Stats
+}
+
+// SameComponent reports whether v and w are in the same component —
+// the constant-time test the labeling framework exists for (§2.1).
+func (r *Result) SameComponent(v, w int) bool { return r.Labels[v] == r.Labels[w] }
+
+// ForestResult extends Result with a spanning forest.
+type ForestResult struct {
+	Result
+	// EdgeIndices are indices into g.Edges() of the forest edges;
+	// exactly n − NumComponents of them.
+	EdgeIndices []int
+	// Edges are the forest edges themselves.
+	Edges [][2]int
+}
+
+func validate(g *graph.Graph) error {
+	if g == nil {
+		return errors.New("pramcc: nil graph")
+	}
+	return g.Validate()
+}
+
+func countLabels(labels []int32) int {
+	seen := make(map[int32]struct{})
+	for _, l := range labels {
+		seen[l] = struct{}{}
+	}
+	return len(seen)
+}
+
+func apply(opts []Option) config {
+	c := defaultConfig()
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// ConnectedComponents computes the connected components of g with the
+// paper's primary algorithm (Theorem 3): O(log d + log log_{m/n} n)
+// simulated time with O(m) processors, with good probability. The
+// returned labels are always correct: if the round cap is exhausted
+// (Stats.Failed), the Theorem-1 postprocessing still completes the
+// computation.
+func ConnectedComponents(g *graph.Graph, opts ...Option) (*Result, error) {
+	if err := validate(g); err != nil {
+		return nil, err
+	}
+	c := apply(opts)
+	m := pram.New(c.workers)
+	p := core.DefaultParams(c.seed)
+	if c.maxRounds > 0 {
+		p.MaxRounds = c.maxRounds
+	}
+	if c.growth > 0 {
+		p.Growth = c.growth
+	}
+	if c.minBudget > 0 {
+		p.MinBudget = c.minBudget
+	}
+	if c.maxLinkIters > 0 {
+		p.MaxLinkIters = c.maxLinkIters
+	}
+	p.DisableBoost = c.disableBoost
+	res := core.Run(m, g, p)
+	out := &Result{
+		Labels:        res.Labels,
+		NumComponents: countLabels(res.Labels),
+		Stats: Stats{
+			Rounds:        res.Rounds,
+			PRAMSteps:     res.Stats.Steps,
+			Work:          res.Stats.Work,
+			MaxProcessors: res.Stats.MaxProcs,
+			PeakSpace:     res.Stats.MaxSpace,
+			MaxLevel:      int(res.MaxLevel),
+			CumBlockWords: res.CumBlockWords,
+			Prep:          res.Prep,
+			PostPhases:    res.PostPhases,
+			Failed:        res.Failed,
+		},
+	}
+	return out, nil
+}
+
+// ConnectedComponentsLogLog computes connected components with the
+// Theorem 1 algorithm: O(log d · log log_{m/n} n) simulated time. If
+// the phase cap is exhausted before convergence the labels may be
+// incomplete and an error is returned alongside the partial result.
+func ConnectedComponentsLogLog(g *graph.Graph, opts ...Option) (*Result, error) {
+	if err := validate(g); err != nil {
+		return nil, err
+	}
+	c := apply(opts)
+	m := pram.New(c.workers)
+	p := ccbase.DefaultParams(c.seed)
+	if c.maxPhases > 0 {
+		p.MaxPhases = c.maxPhases
+	}
+	if c.combining {
+		p.Mode = ccbase.ModeCombining
+	}
+	res := ccbase.Run(m, g, p)
+	out := &Result{
+		Labels:        res.Labels,
+		NumComponents: countLabels(res.Labels),
+		Stats: Stats{
+			Rounds:        res.Phases,
+			PRAMSteps:     res.Stats.Steps,
+			Work:          res.Stats.Work,
+			MaxProcessors: res.Stats.MaxProcs,
+			PeakSpace:     res.Stats.MaxSpace,
+			Prep:          res.Prep,
+			Failed:        res.Failed,
+		},
+	}
+	if res.Failed {
+		return out, fmt.Errorf("pramcc: phase cap exhausted after %d phases (bad-probability event; rerun with another seed or WithMaxPhases)", res.Phases)
+	}
+	return out, nil
+}
+
+// SpanningForest computes a spanning forest of g with the Theorem 2
+// algorithm: O(log d · log log_{m/n} n) simulated time. Forest edges
+// are edges of the input graph; there are exactly n − NumComponents
+// of them. On phase-cap exhaustion an error is returned alongside the
+// partial result.
+func SpanningForest(g *graph.Graph, opts ...Option) (*ForestResult, error) {
+	if err := validate(g); err != nil {
+		return nil, err
+	}
+	c := apply(opts)
+	m := pram.New(c.workers)
+	p := spanning.DefaultParams(c.seed)
+	if c.maxPhases > 0 {
+		p.MaxPhases = c.maxPhases
+	}
+	if c.combining {
+		p.Mode = ccbase.ModeCombining
+	}
+	res := spanning.Run(m, g, p)
+	edges := make([][2]int, 0, len(res.ForestEdges))
+	for _, idx := range res.ForestEdges {
+		edges = append(edges, [2]int{int(g.U[2*idx]), int(g.V[2*idx])})
+	}
+	out := &ForestResult{
+		Result: Result{
+			Labels:        res.Labels,
+			NumComponents: countLabels(res.Labels),
+			Stats: Stats{
+				Rounds:        res.Phases,
+				PRAMSteps:     res.Stats.Steps,
+				Work:          res.Stats.Work,
+				MaxProcessors: res.Stats.MaxProcs,
+				PeakSpace:     res.Stats.MaxSpace,
+				Prep:          res.Prep,
+				Failed:        res.Failed,
+			},
+		},
+		EdgeIndices: res.ForestEdges,
+		Edges:       edges,
+	}
+	if res.Failed {
+		return out, fmt.Errorf("pramcc: phase cap exhausted after %d phases (bad-probability event; rerun with another seed or WithMaxPhases)", res.Phases)
+	}
+	return out, nil
+}
+
+// VanillaComponents computes connected components with Reif's O(log n)
+// algorithm (§B.1) — the classic baseline the paper improves on for
+// small-diameter graphs.
+func VanillaComponents(g *graph.Graph, opts ...Option) (*Result, error) {
+	if err := validate(g); err != nil {
+		return nil, err
+	}
+	c := apply(opts)
+	m := pram.New(c.workers)
+	res := vanilla.Run(m, g, c.seed, c.maxPhases)
+	out := &Result{
+		Labels:        res.Labels,
+		NumComponents: countLabels(res.Labels),
+		Stats: Stats{
+			Rounds:        res.Phases,
+			PRAMSteps:     res.Stats.Steps,
+			Work:          res.Stats.Work,
+			MaxProcessors: res.Stats.MaxProcs,
+			PeakSpace:     res.Stats.MaxSpace,
+		},
+	}
+	return out, nil
+}
