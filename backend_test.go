@@ -1,0 +1,142 @@
+package pramcc
+
+import (
+	"testing"
+
+	"repro/graph"
+	"repro/internal/baseline"
+	"repro/internal/check"
+)
+
+// generatorZoo covers every generator family the graph package offers,
+// so backend equivalence is asserted on paths, trees, grids, tori,
+// hypercubes, cliques, random graphs, power-law graphs, and the
+// composite workloads.
+func generatorZoo() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"path":         graph.Path(257),
+		"cycle":        graph.Cycle(200),
+		"star":         graph.Star(150),
+		"grid2d":       graph.Grid2D(20, 30),
+		"torus2d":      graph.Torus2D(15, 17),
+		"binary-tree":  graph.CompleteBinaryTree(511),
+		"random-tree":  graph.RandomTree(400, 5),
+		"caterpillar":  graph.Caterpillar(60, 4),
+		"gnm":          graph.Gnm(3000, 9000, 7),
+		"gnm-sparse":   graph.Gnm(2000, 900, 8),
+		"circulant":    graph.Circulant(120, 3),
+		"clique":       graph.Clique(40),
+		"clique-beads": graph.CliqueBeads(graph.CliqueBeadsSpec{Beads: 32, Size: 12, IntraDeg: 8, Bridges: 2, Seed: 9}),
+		"hypercube":    graph.Hypercube(8),
+		"barbell":      graph.Barbell(25, 10),
+		"rmat":         graph.RMAT(2048, 8000, 10),
+		"chung-lu":     graph.ChungLu(2000, 6000, 2.5, 11),
+		"lollipop":     graph.LollipopPath(30, 100),
+		"disjoint": graph.DisjointUnion(
+			graph.Path(100), graph.Clique(20), graph.Gnm(500, 1500, 12)),
+		"isolated": graph.WithIsolated(graph.Grid2D(10, 10), 17),
+		"permuted": graph.Permuted(graph.CliqueBeads(graph.CliqueBeadsSpec{
+			Beads: 16, Size: 10, IntraDeg: 6, Bridges: 1, Seed: 13}), 14),
+	}
+}
+
+// TestBackendEquivalenceAcrossGenerators: the native engine must
+// induce exactly the partition of VanillaComponents and of the
+// sequential union-find oracle on every generator family.
+func TestBackendEquivalenceAcrossGenerators(t *testing.T) {
+	for name, g := range generatorZoo() {
+		t.Run(name, func(t *testing.T) {
+			nat, err := Components(g, WithBackend(BackendNative))
+			if err != nil {
+				t.Fatal(err)
+			}
+			van, err := VanillaComponents(g, WithSeed(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := check.SamePartition(nat.Labels, van.Labels); err != nil {
+				t.Fatalf("native vs vanilla: %v", err)
+			}
+			if err := check.SamePartition(nat.Labels, baseline.Components(g)); err != nil {
+				t.Fatalf("native vs union-find: %v", err)
+			}
+			if nat.NumComponents != van.NumComponents {
+				t.Fatalf("component counts differ: native %d, vanilla %d",
+					nat.NumComponents, van.NumComponents)
+			}
+		})
+	}
+}
+
+// TestComponentsBackendDispatch: the default backend is the simulator
+// (with model costs populated); the native backend reports itself and
+// leaves the model-only fields zero.
+func TestComponentsBackendDispatch(t *testing.T) {
+	g := graph.Gnm(2000, 8000, 5)
+	sim, err := Components(g, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Stats.Backend != BackendSimulated {
+		t.Fatalf("default backend = %v, want simulated", sim.Stats.Backend)
+	}
+	if sim.Stats.PRAMSteps == 0 || sim.Stats.Work == 0 {
+		t.Fatal("simulated run left model costs unpopulated")
+	}
+	nat, err := Components(g, WithBackend(BackendNative))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nat.Stats.Backend != BackendNative {
+		t.Fatalf("backend = %v, want native", nat.Stats.Backend)
+	}
+	if nat.Stats.PRAMSteps != 0 || nat.Stats.Work != 0 || nat.Stats.MaxProcessors != 0 ||
+		nat.Stats.PeakSpace != 0 || nat.Stats.CumBlockWords != 0 {
+		t.Fatalf("native run populated model-only fields: %+v", nat.Stats)
+	}
+	if nat.Stats.Rounds == 0 || nat.Stats.Workers == 0 || nat.Stats.Wall == 0 {
+		t.Fatalf("native run left real quantities unpopulated: %+v", nat.Stats)
+	}
+	if err := check.SamePartition(sim.Labels, nat.Labels); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Backend
+	}{{"simulated", BackendSimulated}, {"sim", BackendSimulated}, {"", BackendSimulated}, {"native", BackendNative}} {
+		got, err := ParseBackend(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseBackend(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseBackend("gpu"); err == nil {
+		t.Fatal("ParseBackend accepted nonsense")
+	}
+	if BackendNative.String() != "native" || BackendSimulated.String() != "simulated" {
+		t.Fatal("Backend.String mismatch")
+	}
+}
+
+// FuzzBackendEquivalence: arbitrary multigraphs and worker counts —
+// native and union-find must always agree.
+func FuzzBackendEquivalence(f *testing.F) {
+	f.Add(uint16(10), uint16(20), int64(1), uint8(0))
+	f.Add(uint16(100), uint16(50), int64(2), uint8(1))
+	f.Add(uint16(1), uint16(0), int64(3), uint8(4))
+	f.Add(uint16(300), uint16(2000), int64(4), uint8(16))
+	f.Fuzz(func(t *testing.T, nRaw, mRaw uint16, gseed int64, workersRaw uint8) {
+		n := int(nRaw%400) + 1
+		m := int(mRaw % 1500)
+		g := graph.Gnm(n, m, gseed)
+		res, err := Components(g, WithBackend(BackendNative), WithWorkers(int(workersRaw%17)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := check.SamePartition(res.Labels, baseline.Components(g)); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

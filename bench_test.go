@@ -62,11 +62,29 @@ func BenchmarkE7SuccessProbability(b *testing.B) { runExperiment(b, "E7") }
 func BenchmarkE8SpanningForest(b *testing.B)     { runExperiment(b, "E8") }
 func BenchmarkE9Baselines(b *testing.B)          { runExperiment(b, "E9") }
 func BenchmarkE10Ablations(b *testing.B)         { runExperiment(b, "E10") }
+func BenchmarkE11Backends(b *testing.B)          { runExperiment(b, "E11") }
 
 // ---- wall-clock benchmarks of the public entry points ----
 
 func benchGraph() *graph.Graph {
 	return graph.Gnm(100000, 400000, 42)
+}
+
+// BenchmarkComponentsBackends is the benchstat anchor compared by
+// scripts/bench_baseline.sh against the intentional baseline in
+// internal/bench/testdata/baseline.txt: the same workload through the
+// Components entry point on both backends.
+func BenchmarkComponentsBackends(b *testing.B) {
+	g := benchGraph()
+	for _, bk := range []Backend{BackendSimulated, BackendNative} {
+		b.Run(bk.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Components(g, WithSeed(1), WithBackend(bk)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkConnectedComponentsFast(b *testing.B) {

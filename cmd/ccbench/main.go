@@ -1,10 +1,16 @@
-// Command ccbench runs the reproduction experiments E1–E10 and prints
+// Command ccbench runs the reproduction experiments E1–E11 and prints
 // their tables. The output of `ccbench -scale full` is the source of
-// EXPERIMENTS.md.
+// EXPERIMENTS.md. E11 compares the two execution backends (simulated
+// PRAM vs native shared-memory) on wall clock in one table;
+//
+//	ccbench -experiment E11 -format json > BENCH_$(date +%Y%m%d).json
+//
+// snapshots it as the machine-readable artifact tracked across
+// commits.
 //
 // Usage:
 //
-//	ccbench [-experiment all|E1,...,E10] [-scale quick|full]
+//	ccbench [-experiment all|E1,...,E11] [-scale quick|full] [-format text|markdown|csv|json]
 package main
 
 import (
@@ -18,9 +24,9 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("experiment", "all", "comma-separated experiment ids (E1..E10) or 'all'")
+	expFlag := flag.String("experiment", "all", "comma-separated experiment ids (E1..E11) or 'all'")
 	scaleFlag := flag.String("scale", "quick", "quick (seconds) or full (minutes, EXPERIMENTS.md scale)")
-	formatFlag := flag.String("format", "text", "output format: text, markdown, or csv")
+	formatFlag := flag.String("format", "text", "output format: text, markdown, csv, or json")
 	flag.Parse()
 
 	format, err := bench.ParseFormat(*formatFlag)

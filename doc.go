@@ -16,10 +16,26 @@
 // work, peak processors, peak space) so the paper's bounds can be
 // checked empirically; see EXPERIMENTS.md and cmd/ccbench.
 //
+// # Two execution backends
+//
+// The package has two interchangeable execution backends behind the
+// Components entry point. BackendSimulated (the default) is the
+// step-synchronous ARBITRARY CRCW PRAM simulator the four
+// algorithm-specific entry points above always use: every model step
+// is a barrier and every model cost is accounted, which is the point —
+// and which makes it orders of magnitude slower than the hardware.
+// BackendNative (internal/native) is a shared-memory engine —
+// goroutines with atomic CAS-min on the label array, edge ranges
+// sharded over a reusable worker pool — that computes the identical
+// partition as fast as the hardware allows and fills only the real
+// Stats fields (Backend, Wall, Workers, Rounds), leaving the
+// model-only ones zero. Experiment E11 and examples/nativespeed
+// compare the two side by side.
+//
 // Graphs are built with the repro/graph package:
 //
 //	g := graph.Gnm(100_000, 400_000, 1)
-//	res, err := pramcc.ConnectedComponents(g, pramcc.WithSeed(42))
+//	res, err := pramcc.Components(g, pramcc.WithBackend(pramcc.BackendNative))
 //	if err != nil { ... }
-//	fmt.Println(res.NumComponents, res.Stats.Rounds)
+//	fmt.Println(res.NumComponents, res.Stats.Wall)
 package pramcc

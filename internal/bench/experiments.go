@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"repro/graph"
 	"repro/internal/baseline"
 	"repro/internal/ccbase"
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/native"
 	"repro/internal/pram"
 	"repro/internal/spanning"
 	"repro/internal/vanilla"
@@ -45,6 +47,7 @@ func All() []Experiment {
 		{"E8", "spanning forest", E8},
 		{"E9", "baseline comparison", E9},
 		{"E10", "ablations", E10},
+		{"E11", "simulated vs native wall clock", E11},
 	}
 }
 
@@ -470,6 +473,62 @@ func E10(scale Scale) *Table {
 		}
 		t.Add(name, b.Phases, "-", "-", b.Failed, check.Components(g, b.Labels) == nil)
 	}
+	return t
+}
+
+// E11: the execution backends. Not a claim of the paper — the
+// engineering claim that keeps the repo honest: the native engine
+// (goroutines + CAS-min, internal/native) must produce the exact
+// partition of the Theorem-3 simulation at a fraction of the wall
+// clock, and sequential union-find anchors what a single core can do.
+// `ccbench -experiment E11 -format json > BENCH_<date>.json` is the
+// tracked artifact.
+func E11(scale Scale) *Table {
+	t := &Table{
+		ID:    "E11",
+		Title: "simulated vs native wall clock",
+		Claim: "BackendNative computes the same partition as the simulator at a fraction of the wall clock",
+		Header: []string{"workload", "n", "m", "sim ms", "native ms", "speedup",
+			"unionfind ms", "native rounds", "same partition"},
+	}
+	type wl struct {
+		name string
+		g    *graph.Graph
+	}
+	var wls []wl
+	if scale == Full {
+		wls = []wl{
+			{"gnm-1e5x4", graph.Gnm(100000, 400000, 1)},
+			{"gnm-3e5x8", graph.Gnm(300000, 2400000, 2)},
+			{"beads-1024", beads(1024, 3)},
+			{"rmat-2e5", graph.RMAT(1<<18, 1<<21, 4)},
+		}
+	} else {
+		wls = []wl{
+			{"gnm-2e4x4", graph.Gnm(20000, 80000, 1)},
+			{"beads-128", beads(128, 3)},
+			{"rmat-2e4", graph.RMAT(1<<14, 1<<17, 4)},
+		}
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	for _, w := range wls {
+		t0 := time.Now()
+		sim := core.Run(pram.New(0), w.g, core.DefaultParams(19))
+		simD := time.Since(t0)
+		t0 = time.Now()
+		nat := native.Components(w.g, native.Options{})
+		natD := time.Since(t0)
+		t0 = time.Now()
+		uf := baseline.Components(w.g)
+		ufD := time.Since(t0)
+		same := check.SamePartition(nat.Labels, sim.Labels) == nil &&
+			check.SamePartition(nat.Labels, uf) == nil
+		t.Add(w.name, w.g.N, w.g.NumEdges(), ms(simD), ms(natD),
+			float64(simD)/float64(natD), ms(ufD), nat.Rounds, same)
+	}
+	t.Notes = append(t.Notes,
+		"sim = Theorem-3 EXPAND-MAXLINK on the step-barrier PRAM simulator; native = internal/native CAS-min engine",
+		"native workers = GOMAXPROCS; wall clock is host-dependent, track trends not absolutes")
 	return t
 }
 

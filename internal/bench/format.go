@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -63,6 +64,23 @@ func (t *Table) FprintCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// FprintJSON renders the table as one JSON object per line (JSONL when
+// several experiments share a stream). This is the machine-readable
+// artifact format: `ccbench -format json > BENCH_<date>.json` snapshots
+// e.g. the E11 simulated-vs-native wall-clock table for tracking
+// across commits.
+func (t *Table) FprintJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Claim  string     `json:"claim,omitempty"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Claim, t.Header, t.Rows, t.Notes})
+}
+
 // Format names a rendering style for RenderTo.
 type Format int
 
@@ -73,6 +91,8 @@ const (
 	FormatMarkdown
 	// FormatCSV is comma-separated values.
 	FormatCSV
+	// FormatJSON is one JSON object per table (JSONL across tables).
+	FormatJSON
 )
 
 // ParseFormat maps a flag value to a Format.
@@ -84,8 +104,10 @@ func ParseFormat(s string) (Format, error) {
 		return FormatMarkdown, nil
 	case "csv":
 		return FormatCSV, nil
+	case "json":
+		return FormatJSON, nil
 	}
-	return 0, fmt.Errorf("bench: unknown format %q (want text, markdown, or csv)", s)
+	return 0, fmt.Errorf("bench: unknown format %q (want text, markdown, csv, or json)", s)
 }
 
 // RenderTo renders the table in the given format.
@@ -95,6 +117,8 @@ func (t *Table) RenderTo(w io.Writer, f Format) error {
 		return t.FprintMarkdown(w)
 	case FormatCSV:
 		return t.FprintCSV(w)
+	case FormatJSON:
+		return t.FprintJSON(w)
 	default:
 		t.Fprint(w)
 		return nil

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -57,11 +58,33 @@ func TestFprintCSV(t *testing.T) {
 	}
 }
 
+func TestFprintJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoTable().FprintJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		ID     string     `json:"id"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if got.ID != "EX" || len(got.Header) != 2 || len(got.Rows) != 2 || len(got.Notes) != 1 {
+		t.Fatalf("json content wrong: %+v", got)
+	}
+	if got.Rows[0][1] != "2.50" {
+		t.Fatalf("json cell wrong: %+v", got.Rows)
+	}
+}
+
 func TestParseFormat(t *testing.T) {
 	for in, want := range map[string]Format{
 		"text": FormatText, "": FormatText,
 		"markdown": FormatMarkdown, "md": FormatMarkdown,
-		"csv": FormatCSV,
+		"csv": FormatCSV, "json": FormatJSON,
 	} {
 		got, err := ParseFormat(in)
 		if err != nil || got != want {
@@ -74,7 +97,7 @@ func TestParseFormat(t *testing.T) {
 }
 
 func TestRenderTo(t *testing.T) {
-	for _, f := range []Format{FormatText, FormatMarkdown, FormatCSV} {
+	for _, f := range []Format{FormatText, FormatMarkdown, FormatCSV, FormatJSON} {
 		var buf bytes.Buffer
 		if err := demoTable().RenderTo(&buf, f); err != nil {
 			t.Fatal(err)
@@ -91,8 +114,8 @@ func TestRenderTo(t *testing.T) {
 // structural check that ids, headers and rows stay consistent.)
 func TestExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 10 {
-		t.Fatalf("want 10 experiments, got %d", len(all))
+	if len(all) != 11 {
+		t.Fatalf("want 11 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for i, e := range all {
@@ -112,7 +135,7 @@ func TestSmallExperimentsRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments skipped in -short")
 	}
-	for _, id := range []string{"E4", "E8", "E9"} {
+	for _, id := range []string{"E4", "E8", "E9", "E11"} {
 		for _, e := range All() {
 			if e.ID != id {
 				continue

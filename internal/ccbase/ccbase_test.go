@@ -41,6 +41,9 @@ func TestCorrectnessAcrossWorkloadsAndModes(t *testing.T) {
 }
 
 func TestPhasesDecreaseWithDensity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed density sweep (~11s) skipped in -short; CI's scheduled full run covers it")
+	}
 	// The log log_{m/n} n term: aggregate over seeds, denser graphs
 	// should not need more phases than much sparser ones.
 	n := 20000

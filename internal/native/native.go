@@ -1,0 +1,175 @@
+// Package native is the shared-memory execution backend: connected
+// components computed directly on goroutines with atomic
+// compare-and-swap on the label array, aimed at wall-clock speed
+// rather than model-cost accounting.
+//
+// The algorithm is the Liu–Tarjan label-propagation framework
+// specialized to its practical core: every round performs a
+// link-to-minimum step over the edges (each endpoint's current root
+// label is lowered towards the smaller of the two via CAS-min) and a
+// shortcutting step over the vertices (pointer jumping repeated to the
+// root, compressing every chain to depth one). Labels only ever
+// decrease, every vertex's label always names a vertex of the same
+// component, and a round with no change is a proof of convergence —
+// flat labels that agree across every edge — so no step barrier,
+// snapshot semantics, or per-step cost accounting is needed. The
+// asynchronous races the simulator's ARBITRARY write-resolution models
+// explicitly are simply allowed to happen here; CAS-min makes every
+// interleaving safe.
+//
+// Work is sharded over a reusable worker pool: contiguous chunks of
+// the edge (and vertex) ranges are claimed with an atomic cursor, so
+// stragglers steal nothing but the remaining range and no goroutines
+// are spawned after engine start.
+package native
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/graph"
+)
+
+// grain is the number of edges or vertices a worker claims per fetch
+// of the shared cursor: large enough to amortize the atomic add, small
+// enough to balance skewed chunks across workers.
+const grain = 4096
+
+// Options configures an engine run.
+type Options struct {
+	// Workers is the goroutine count; 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// Result is a component labeling with engine statistics. Unlike the
+// simulated backends there are no model costs: only real quantities.
+type Result struct {
+	// Labels assigns every vertex a component representative (the
+	// minimum vertex id of its component, by the CAS-min discipline).
+	Labels []int32
+	// Rounds is the number of link+shortcut rounds until convergence.
+	Rounds int
+	// Workers is the resolved worker count that executed the run.
+	Workers int
+}
+
+// Components computes the connected components of g. The returned
+// labeling is exact on every interleaving: correctness depends only on
+// the monotone CAS-min discipline, not on scheduling.
+func Components(g *graph.Graph, opt Options) *Result {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := g.N
+	labels := make([]int32, n)
+	for i := range labels {
+		labels[i] = int32(i)
+	}
+	res := &Result{Labels: labels, Workers: workers}
+	numEdges := g.NumEdges()
+	if n == 0 || numEdges == 0 {
+		return res
+	}
+
+	p := newPool(workers)
+	defer p.close()
+
+	var cursor atomic.Int64
+	var changed atomic.Bool
+
+	// sweep shards [0, total) into grain-sized chunks claimed off a
+	// shared cursor; body reports whether it changed any label.
+	sweep := func(total int, body func(lo, hi int) bool) bool {
+		cursor.Store(0)
+		changed.Store(false)
+		p.run(func(int) {
+			local := false
+			for {
+				lo := int(cursor.Add(grain)) - grain
+				if lo >= total {
+					break
+				}
+				hi := lo + grain
+				if hi > total {
+					hi = total
+				}
+				if body(lo, hi) {
+					local = true
+				}
+			}
+			if local {
+				changed.Store(true)
+			}
+		})
+		return changed.Load()
+	}
+
+	// Arcs come in mirror pairs, so scanning arc 2e covers edge e in
+	// both directions (the link below is symmetric in u and v).
+	link := func(lo, hi int) bool {
+		local := false
+		for e := lo; e < hi; e++ {
+			u, v := g.U[2*e], g.V[2*e]
+			if u == v {
+				continue
+			}
+			pu := atomic.LoadInt32(&labels[u])
+			pv := atomic.LoadInt32(&labels[v])
+			switch {
+			case pv < pu:
+				local = casMin(labels, pu, pv) || local
+			case pu < pv:
+				local = casMin(labels, pv, pu) || local
+			}
+		}
+		return local
+	}
+
+	shortcut := func(lo, hi int) bool {
+		local := false
+		for v := lo; v < hi; v++ {
+			root := atomic.LoadInt32(&labels[v])
+			for {
+				parent := atomic.LoadInt32(&labels[root])
+				if parent == root {
+					break
+				}
+				root = parent
+			}
+			local = casMin(labels, int32(v), root) || local
+		}
+		return local
+	}
+
+	for {
+		res.Rounds++
+		linked := sweep(numEdges, link)
+		cut := sweep(n, shortcut)
+		// A full round with no successful CAS means the labels are flat
+		// and agree across every edge: were some edge's labels unequal,
+		// the link CAS-min on its larger side would have succeeded
+		// against a flat (self-parented) label. Labels strictly
+		// decrease on every change, so this point is always reached.
+		if !linked && !cut {
+			break
+		}
+	}
+	return res
+}
+
+// casMin lowers labels[at] to val if val is smaller, retrying on
+// contention. It reports whether it wrote. Labels only ever decrease,
+// so the invariant "labels[x] names a vertex of x's component" is
+// preserved by every interleaving of casMin calls.
+func casMin(labels []int32, at, val int32) bool {
+	for {
+		cur := atomic.LoadInt32(&labels[at])
+		if val >= cur {
+			return false
+		}
+		if atomic.CompareAndSwapInt32(&labels[at], cur, val) {
+			return true
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package native
+
+import (
+	"testing"
+
+	"repro/graph"
+	"repro/internal/baseline"
+	"repro/internal/check"
+)
+
+func requireOracle(t *testing.T, g *graph.Graph, labels []int32) {
+	t.Helper()
+	if err := check.Components(g, labels); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmallGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"empty", graph.New(0)},
+		{"isolated", graph.New(5)},
+		{"single-edge", graph.FromEdges(2, [][2]int{{0, 1}})},
+		{"self-loops", graph.FromEdges(3, [][2]int{{0, 0}, {1, 1}, {0, 1}})},
+		{"parallel-edges", graph.FromEdges(3, [][2]int{{0, 1}, {0, 1}, {1, 2}})},
+		{"path", graph.Path(17)},
+		{"cycle", graph.Cycle(12)},
+		{"star", graph.Star(9)},
+		{"two-comps", graph.DisjointUnion(graph.Path(6), graph.Clique(5))},
+		{"with-isolated", graph.WithIsolated(graph.Grid2D(4, 5), 3)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := Components(tc.g, Options{})
+			requireOracle(t, tc.g, res.Labels)
+			if len(res.Labels) != tc.g.N {
+				t.Fatalf("got %d labels for %d vertices", len(res.Labels), tc.g.N)
+			}
+		})
+	}
+}
+
+// TestMinLabelRepresentatives: the CAS-min discipline converges to the
+// minimum vertex id of each component, giving canonical labels.
+func TestMinLabelRepresentatives(t *testing.T) {
+	g := graph.DisjointUnion(graph.Cycle(10), graph.Star(7), graph.Path(4))
+	res := Components(g, Options{})
+	uf := baseline.Components(g)
+	min := map[int32]int32{}
+	for v, r := range uf {
+		if cur, ok := min[r]; !ok || int32(v) < cur {
+			min[r] = int32(v)
+		}
+	}
+	for v := range res.Labels {
+		if want := min[uf[v]]; res.Labels[v] != want {
+			t.Fatalf("vertex %d: label %d, want component minimum %d", v, res.Labels[v], want)
+		}
+	}
+}
+
+// TestWorkersSweep: every worker count induces the same partition as
+// the sequential union-find oracle.
+func TestWorkersSweep(t *testing.T) {
+	gs := []*graph.Graph{
+		graph.Gnm(5000, 20000, 1),
+		graph.CliqueBeads(graph.CliqueBeadsSpec{Beads: 64, Size: 24, IntraDeg: 20, Bridges: 2, Seed: 2}),
+		graph.Permuted(graph.Grid2D(40, 50), 3),
+	}
+	for _, g := range gs {
+		oracle := baseline.Components(g)
+		for _, w := range []int{1, 2, 3, 7, 16} {
+			res := Components(g, Options{Workers: w})
+			if res.Workers != w {
+				t.Fatalf("workers=%d: resolved to %d", w, res.Workers)
+			}
+			if err := check.SamePartition(res.Labels, oracle); err != nil {
+				t.Fatalf("workers=%d: %v", w, err)
+			}
+		}
+	}
+}
+
+// TestRaceStress hammers the CAS paths with heavy contention: a
+// high-diameter workload (long shortcut chains) and a dense one (many
+// conflicting links), repeatedly, with more workers than cores. Run
+// under -race this is the engine's memory-model check.
+func TestRaceStress(t *testing.T) {
+	gs := []*graph.Graph{
+		graph.Path(30000),
+		graph.Gnm(20000, 120000, 11),
+		graph.CliqueBeads(graph.CliqueBeadsSpec{Beads: 256, Size: 24, IntraDeg: 20, Bridges: 2, Seed: 12}),
+	}
+	iters := 5
+	if testing.Short() {
+		iters = 2
+	}
+	for _, g := range gs {
+		oracle := baseline.Components(g)
+		for i := 0; i < iters; i++ {
+			res := Components(g, Options{Workers: 32})
+			if err := check.SamePartition(res.Labels, oracle); err != nil {
+				t.Fatalf("iter %d: %v", i, err)
+			}
+		}
+	}
+}
+
+// TestRoundsAreFew: repeated shortcutting to the root keeps rounds far
+// below the diameter — the whole point over naive label propagation.
+func TestRoundsAreFew(t *testing.T) {
+	g := graph.Path(100000)
+	res := Components(g, Options{})
+	requireOracle(t, g, res.Labels)
+	if res.Rounds > 40 {
+		t.Fatalf("path-100000 took %d rounds, want O(log n)-ish", res.Rounds)
+	}
+}
+
+func BenchmarkNativeGnm(b *testing.B) {
+	g := graph.Gnm(100000, 400000, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Components(g, Options{})
+	}
+}
+
+func BenchmarkNativeHighDiameter(b *testing.B) {
+	g := graph.CliqueBeads(graph.CliqueBeadsSpec{Beads: 1024, Size: 24, IntraDeg: 20, Bridges: 2, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Components(g, Options{})
+	}
+}

@@ -1,0 +1,44 @@
+package native
+
+import "sync"
+
+// pool is a reusable fixed-size worker pool. The workers are spawned
+// once per engine run and fed one job per round via per-worker
+// channels, instead of spawning a fresh goroutine set for every
+// parallel step the way the PRAM simulator does. run broadcasts the
+// job to all workers and blocks until every worker has returned.
+type pool struct {
+	jobs []chan func(worker int)
+	wg   sync.WaitGroup
+}
+
+func newPool(workers int) *pool {
+	p := &pool{jobs: make([]chan func(worker int), workers)}
+	for i := range p.jobs {
+		ch := make(chan func(worker int))
+		p.jobs[i] = ch
+		go func(worker int, ch chan func(worker int)) {
+			for f := range ch {
+				f(worker)
+				p.wg.Done()
+			}
+		}(i, ch)
+	}
+	return p
+}
+
+// run executes f once on every worker and waits for all of them.
+func (p *pool) run(f func(worker int)) {
+	p.wg.Add(len(p.jobs))
+	for _, ch := range p.jobs {
+		ch <- f
+	}
+	p.wg.Wait()
+}
+
+// close terminates the worker goroutines. The pool must be idle.
+func (p *pool) close() {
+	for _, ch := range p.jobs {
+		close(ch)
+	}
+}

@@ -1,11 +1,54 @@
 package pramcc
 
+import "fmt"
+
+// Backend selects the execution engine behind Components.
+type Backend int
+
+const (
+	// BackendSimulated runs on the step-synchronous ARBITRARY CRCW
+	// PRAM simulator (internal/pram): every constant-time model step
+	// is a barrier, and full model-cost statistics are accounted
+	// (steps, work, processors, space). This is the backend the
+	// paper's bounds are checked on; wall-clock speed is not a goal.
+	BackendSimulated Backend = iota
+	// BackendNative runs on the shared-memory engine
+	// (internal/native): goroutines with atomic CAS-min on the label
+	// array, no step barriers and no per-step accounting. Same
+	// partition, real wall-clock speed; all model-cost Stats fields
+	// are zero.
+	BackendNative
+)
+
+// String returns "simulated" or "native".
+func (b Backend) String() string {
+	switch b {
+	case BackendSimulated:
+		return "simulated"
+	case BackendNative:
+		return "native"
+	}
+	return fmt.Sprintf("Backend(%d)", int(b))
+}
+
+// ParseBackend maps a flag value to a Backend.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "simulated", "sim", "":
+		return BackendSimulated, nil
+	case "native":
+		return BackendNative, nil
+	}
+	return 0, fmt.Errorf("pramcc: unknown backend %q (want simulated or native)", s)
+}
+
 // Option configures an algorithm run.
 type Option func(*config)
 
 type config struct {
 	seed         uint64
 	workers      int
+	backend      Backend
 	maxRounds    int
 	maxPhases    int
 	growth       float64
@@ -16,17 +59,24 @@ type config struct {
 }
 
 func defaultConfig() config {
-	return config{seed: 1, maxLinkIters: 2}
+	return config{seed: 1, maxLinkIters: 2, backend: BackendSimulated}
 }
+
+// WithBackend selects the execution engine used by Components. The
+// default is BackendSimulated. The algorithm-specific entry points
+// (ConnectedComponents, ConnectedComponentsLogLog, SpanningForest,
+// VanillaComponents) are simulator-only and ignore this option.
+func WithBackend(b Backend) Option { return func(c *config) { c.backend = b } }
 
 // WithSeed sets the random seed. Runs with the same seed make the same
 // random choices regardless of the worker count; only arbitrary-write
 // resolutions may differ.
 func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
 
-// WithWorkers sets the host worker-goroutine count backing the PRAM
-// simulation. 0 (the default) selects GOMAXPROCS; 1 gives a
-// deterministic sequential schedule.
+// WithWorkers sets the host worker-goroutine count: the pool backing
+// the PRAM simulation, or the shard workers of BackendNative. 0 (the
+// default) selects GOMAXPROCS; 1 gives a deterministic sequential
+// schedule on the simulator.
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 
 // WithMaxRounds caps the main loop of ConnectedComponents (EXPAND-

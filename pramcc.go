@@ -3,19 +3,33 @@ package pramcc
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/graph"
 	"repro/internal/ccbase"
 	"repro/internal/core"
+	"repro/internal/native"
 	"repro/internal/pram"
 	"repro/internal/spanning"
 	"repro/internal/vanilla"
 )
 
-// Stats reports simulated-PRAM costs of a run. Time is counted in
-// model steps/rounds, not wall clock.
+// Stats reports the costs of a run. The fields split into two groups:
+// real quantities, measured on the host and meaningful for every
+// backend, and model-only quantities, counted in simulated-PRAM units
+// (steps, processors, common-memory words — never wall clock) and
+// populated only by BackendSimulated. BackendNative does no per-step
+// accounting, so on a native run every model-only field is zero.
 type Stats struct {
-	Rounds        int   // main-loop rounds (EXPAND-MAXLINK) or phases
+	// ---- real quantities (all backends) ----
+
+	Backend Backend       // engine that produced the result
+	Wall    time.Duration // measured wall-clock duration of the run
+	Workers int           // host goroutine count that executed the run
+	Rounds  int           // main-loop rounds: EXPAND-MAXLINK rounds or phases (simulated), link+shortcut rounds (native)
+
+	// ---- model-only quantities (BackendSimulated; zero on native) ----
+
 	PRAMSteps     int64 // simulated constant-time PRAM steps
 	Work          int64 // Σ steps × processors
 	MaxProcessors int64 // peak processors in one step
@@ -74,6 +88,35 @@ func apply(opts []Option) config {
 	return c
 }
 
+// Components computes the connected components of g on the backend
+// selected with WithBackend: the model-cost PRAM simulation (default;
+// equivalent to ConnectedComponents, the paper's Theorem-3 algorithm)
+// or the native shared-memory engine, which computes the same
+// partition as fast as the hardware allows and leaves every model-only
+// Stats field zero. This is the recommended entry point when the goal
+// is the answer rather than a specific theorem's cost profile.
+func Components(g *graph.Graph, opts ...Option) (*Result, error) {
+	c := apply(opts)
+	if c.backend != BackendNative {
+		return ConnectedComponents(g, opts...)
+	}
+	if err := validate(g); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := native.Components(g, native.Options{Workers: c.workers})
+	return &Result{
+		Labels:        res.Labels,
+		NumComponents: countLabels(res.Labels),
+		Stats: Stats{
+			Backend: BackendNative,
+			Wall:    time.Since(start),
+			Workers: res.Workers,
+			Rounds:  res.Rounds,
+		},
+	}, nil
+}
+
 // ConnectedComponents computes the connected components of g with the
 // paper's primary algorithm (Theorem 3): O(log d + log log_{m/n} n)
 // simulated time with O(m) processors, with good probability. The
@@ -100,11 +143,15 @@ func ConnectedComponents(g *graph.Graph, opts ...Option) (*Result, error) {
 		p.MaxLinkIters = c.maxLinkIters
 	}
 	p.DisableBoost = c.disableBoost
+	start := time.Now()
 	res := core.Run(m, g, p)
 	out := &Result{
 		Labels:        res.Labels,
 		NumComponents: countLabels(res.Labels),
 		Stats: Stats{
+			Backend:       BackendSimulated,
+			Wall:          time.Since(start),
+			Workers:       m.Workers(),
 			Rounds:        res.Rounds,
 			PRAMSteps:     res.Stats.Steps,
 			Work:          res.Stats.Work,
@@ -137,11 +184,15 @@ func ConnectedComponentsLogLog(g *graph.Graph, opts ...Option) (*Result, error) 
 	if c.combining {
 		p.Mode = ccbase.ModeCombining
 	}
+	start := time.Now()
 	res := ccbase.Run(m, g, p)
 	out := &Result{
 		Labels:        res.Labels,
 		NumComponents: countLabels(res.Labels),
 		Stats: Stats{
+			Backend:       BackendSimulated,
+			Wall:          time.Since(start),
+			Workers:       m.Workers(),
 			Rounds:        res.Phases,
 			PRAMSteps:     res.Stats.Steps,
 			Work:          res.Stats.Work,
@@ -175,6 +226,7 @@ func SpanningForest(g *graph.Graph, opts ...Option) (*ForestResult, error) {
 	if c.combining {
 		p.Mode = ccbase.ModeCombining
 	}
+	start := time.Now()
 	res := spanning.Run(m, g, p)
 	edges := make([][2]int, 0, len(res.ForestEdges))
 	for _, idx := range res.ForestEdges {
@@ -185,6 +237,9 @@ func SpanningForest(g *graph.Graph, opts ...Option) (*ForestResult, error) {
 			Labels:        res.Labels,
 			NumComponents: countLabels(res.Labels),
 			Stats: Stats{
+				Backend:       BackendSimulated,
+				Wall:          time.Since(start),
+				Workers:       m.Workers(),
 				Rounds:        res.Phases,
 				PRAMSteps:     res.Stats.Steps,
 				Work:          res.Stats.Work,
@@ -212,11 +267,15 @@ func VanillaComponents(g *graph.Graph, opts ...Option) (*Result, error) {
 	}
 	c := apply(opts)
 	m := pram.New(c.workers)
+	start := time.Now()
 	res := vanilla.Run(m, g, c.seed, c.maxPhases)
 	out := &Result{
 		Labels:        res.Labels,
 		NumComponents: countLabels(res.Labels),
 		Stats: Stats{
+			Backend:       BackendSimulated,
+			Wall:          time.Since(start),
+			Workers:       m.Workers(),
 			Rounds:        res.Phases,
 			PRAMSteps:     res.Stats.Steps,
 			Work:          res.Stats.Work,

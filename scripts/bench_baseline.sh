@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Compare the backend benchmarks against the intentional baseline, or
+# refresh it.
+#
+#   scripts/bench_baseline.sh           # run + compare against baseline
+#   scripts/bench_baseline.sh update    # run + overwrite the baseline
+#   COUNT=10 scripts/bench_baseline.sh  # more repetitions (benchstat power)
+#
+# The baseline (internal/bench/testdata/baseline.txt) is updated
+# intentionally — never by CI — so benchstat diffs against it show the
+# cumulative drift of BackendSimulated vs BackendNative since the last
+# deliberate refresh. Comparison uses benchstat when installed
+# (go install golang.org/x/perf/cmd/benchstat@latest) and falls back to
+# printing both result sets side by side when not.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-5}"
+BENCH="${BENCH:-BenchmarkComponentsBackends|BenchmarkNative}"
+BASELINE=internal/bench/testdata/baseline.txt
+CURRENT="$(mktemp /tmp/bench_current.XXXXXX.txt)"
+trap 'rm -f "$CURRENT"' EXIT
+
+echo ">> go test -run '^$' -bench '$BENCH' -count $COUNT (., ./internal/native)"
+go test -run '^$' -bench "$BENCH" -count "$COUNT" . ./internal/native | tee "$CURRENT"
+
+if [ "${1:-}" = "update" ]; then
+    mkdir -p "$(dirname "$BASELINE")"
+    cp "$CURRENT" "$BASELINE"
+    echo ">> baseline refreshed: $BASELINE"
+    exit 0
+fi
+
+if [ ! -f "$BASELINE" ]; then
+    echo ">> no baseline at $BASELINE; run 'scripts/bench_baseline.sh update' to create it" >&2
+    exit 1
+fi
+
+echo
+if command -v benchstat >/dev/null 2>&1; then
+    echo ">> benchstat baseline vs current"
+    benchstat "$BASELINE" "$CURRENT"
+else
+    echo ">> benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest)"
+    echo ">> baseline ($BASELINE):"
+    grep '^Benchmark' "$BASELINE" || true
+    echo ">> current:"
+    grep '^Benchmark' "$CURRENT" || true
+fi
