@@ -40,13 +40,19 @@ func generatorZoo() map[string]*graph.Graph {
 	}
 }
 
-// TestBackendEquivalenceAcrossGenerators: the native engine must
-// induce exactly the partition of VanillaComponents and of the
-// sequential union-find oracle on every generator family.
+// TestBackendEquivalenceAcrossGenerators: the native and incremental
+// engines must induce exactly the partition of VanillaComponents and
+// of the sequential union-find oracle on every generator family, and
+// must agree with each other elementwise (both canonicalize labels to
+// component minima).
 func TestBackendEquivalenceAcrossGenerators(t *testing.T) {
 	for name, g := range generatorZoo() {
 		t.Run(name, func(t *testing.T) {
 			nat, err := Components(g, WithBackend(BackendNative))
+			if err != nil {
+				t.Fatal(err)
+			}
+			inc, err := Components(g, WithBackend(BackendIncremental))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -60,9 +66,43 @@ func TestBackendEquivalenceAcrossGenerators(t *testing.T) {
 			if err := check.SamePartition(nat.Labels, baseline.Components(g)); err != nil {
 				t.Fatalf("native vs union-find: %v", err)
 			}
-			if nat.NumComponents != van.NumComponents {
-				t.Fatalf("component counts differ: native %d, vanilla %d",
-					nat.NumComponents, van.NumComponents)
+			if err := check.SamePartition(inc.Labels, van.Labels); err != nil {
+				t.Fatalf("incremental vs vanilla: %v", err)
+			}
+			for v := range nat.Labels {
+				if inc.Labels[v] != nat.Labels[v] {
+					t.Fatalf("incremental label[%d] = %d, native %d", v, inc.Labels[v], nat.Labels[v])
+				}
+			}
+			if nat.NumComponents != van.NumComponents || inc.NumComponents != van.NumComponents {
+				t.Fatalf("component counts differ: native %d, incremental %d, vanilla %d",
+					nat.NumComponents, inc.NumComponents, van.NumComponents)
+			}
+		})
+	}
+}
+
+// TestBackendEquivalenceSimulated: the three Components backends on
+// the same graphs — the ISSUE-2 acceptance triangle, including the
+// (slow) simulator on a reduced zoo.
+func TestBackendEquivalenceSimulated(t *testing.T) {
+	names := []string{"path", "grid2d", "gnm", "clique-beads", "disjoint", "isolated"}
+	zoo := generatorZoo()
+	for _, name := range names {
+		g := zoo[name]
+		t.Run(name, func(t *testing.T) {
+			sim, err := Components(g, WithSeed(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, bk := range []Backend{BackendNative, BackendIncremental} {
+				got, err := Components(g, WithBackend(bk))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := check.SamePartition(got.Labels, sim.Labels); err != nil {
+					t.Fatalf("%v vs simulated: %v", bk, err)
+				}
 			}
 		})
 	}
@@ -100,13 +140,34 @@ func TestComponentsBackendDispatch(t *testing.T) {
 	if err := check.SamePartition(sim.Labels, nat.Labels); err != nil {
 		t.Fatal(err)
 	}
+	inc, err := Components(g, WithBackend(BackendIncremental))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Stats.Backend != BackendIncremental {
+		t.Fatalf("backend = %v, want incremental", inc.Stats.Backend)
+	}
+	if inc.Stats.PRAMSteps != 0 || inc.Stats.Work != 0 || inc.Stats.MaxProcessors != 0 ||
+		inc.Stats.PeakSpace != 0 || inc.Stats.CumBlockWords != 0 {
+		t.Fatalf("incremental run populated model-only fields: %+v", inc.Stats)
+	}
+	if inc.Stats.Rounds != 1 {
+		t.Fatalf("one-shot incremental run reports %d batches, want 1", inc.Stats.Rounds)
+	}
+	if inc.Stats.Workers == 0 || inc.Stats.Wall == 0 {
+		t.Fatalf("incremental run left real quantities unpopulated: %+v", inc.Stats)
+	}
+	if err := check.SamePartition(sim.Labels, inc.Labels); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestParseBackend(t *testing.T) {
 	for _, tc := range []struct {
 		in   string
 		want Backend
-	}{{"simulated", BackendSimulated}, {"sim", BackendSimulated}, {"", BackendSimulated}, {"native", BackendNative}} {
+	}{{"simulated", BackendSimulated}, {"sim", BackendSimulated}, {"", BackendSimulated},
+		{"native", BackendNative}, {"incremental", BackendIncremental}, {"inc", BackendIncremental}} {
 		got, err := ParseBackend(tc.in)
 		if err != nil || got != tc.want {
 			t.Fatalf("ParseBackend(%q) = %v, %v", tc.in, got, err)
@@ -115,28 +176,54 @@ func TestParseBackend(t *testing.T) {
 	if _, err := ParseBackend("gpu"); err == nil {
 		t.Fatal("ParseBackend accepted nonsense")
 	}
-	if BackendNative.String() != "native" || BackendSimulated.String() != "simulated" {
+	if BackendNative.String() != "native" || BackendSimulated.String() != "simulated" ||
+		BackendIncremental.String() != "incremental" {
 		t.Fatal("Backend.String mismatch")
 	}
 }
 
-// FuzzBackendEquivalence: arbitrary multigraphs and worker counts —
-// native and union-find must always agree.
+// FuzzBackendEquivalence: arbitrary multigraphs, worker counts, and
+// batch splits — native, one-shot incremental, batched incremental,
+// and union-find must always agree.
 func FuzzBackendEquivalence(f *testing.F) {
-	f.Add(uint16(10), uint16(20), int64(1), uint8(0))
-	f.Add(uint16(100), uint16(50), int64(2), uint8(1))
-	f.Add(uint16(1), uint16(0), int64(3), uint8(4))
-	f.Add(uint16(300), uint16(2000), int64(4), uint8(16))
-	f.Fuzz(func(t *testing.T, nRaw, mRaw uint16, gseed int64, workersRaw uint8) {
+	f.Add(uint16(10), uint16(20), int64(1), uint8(0), uint8(1))
+	f.Add(uint16(100), uint16(50), int64(2), uint8(1), uint8(3))
+	f.Add(uint16(1), uint16(0), int64(3), uint8(4), uint8(0))
+	f.Add(uint16(300), uint16(2000), int64(4), uint8(16), uint8(13))
+	f.Fuzz(func(t *testing.T, nRaw, mRaw uint16, gseed int64, workersRaw, batchesRaw uint8) {
 		n := int(nRaw%400) + 1
 		m := int(mRaw % 1500)
 		g := graph.Gnm(n, m, gseed)
+		oracle := baseline.Components(g)
 		res, err := Components(g, WithBackend(BackendNative), WithWorkers(int(workersRaw%17)))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := check.SamePartition(res.Labels, baseline.Components(g)); err != nil {
+		if err := check.SamePartition(res.Labels, oracle); err != nil {
 			t.Fatal(err)
+		}
+		one, err := Components(g, WithBackend(BackendIncremental), WithWorkers(int(workersRaw%17)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range res.Labels {
+			if one.Labels[v] != res.Labels[v] {
+				t.Fatalf("incremental label[%d] = %d, native %d", v, one.Labels[v], res.Labels[v])
+			}
+		}
+		// Batched replay: the partition must not depend on the split.
+		inc, err := NewIncremental(g.N, WithWorkers(int(workersRaw%17)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer inc.Close()
+		for _, batch := range g.EdgeBatches(int(batchesRaw%29) + 1) {
+			if _, err := inc.AddEdges(batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := check.SamePartition(inc.Labels(), oracle); err != nil {
+			t.Fatalf("batched incremental: %v", err)
 		}
 	})
 }

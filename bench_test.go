@@ -1,7 +1,7 @@
 package pramcc
 
-// Benchmark entry points. One Benchmark per experiment E1–E10 (the
-// per-experiment index is DESIGN.md §4; cmd/ccbench prints the same
+// Benchmark entry points. One Benchmark per experiment E1–E12 (the
+// per-experiment index is EXPERIMENTS.md; cmd/ccbench prints the same
 // tables standalone), plus wall-clock benchmarks of the public API.
 //
 // The experiment benches report model metrics (rounds, space ratios)
@@ -63,6 +63,7 @@ func BenchmarkE8SpanningForest(b *testing.B)     { runExperiment(b, "E8") }
 func BenchmarkE9Baselines(b *testing.B)          { runExperiment(b, "E9") }
 func BenchmarkE10Ablations(b *testing.B)         { runExperiment(b, "E10") }
 func BenchmarkE11Backends(b *testing.B)          { runExperiment(b, "E11") }
+func BenchmarkE12Incremental(b *testing.B)       { runExperiment(b, "E12") }
 
 // ---- wall-clock benchmarks of the public entry points ----
 
@@ -76,7 +77,7 @@ func benchGraph() *graph.Graph {
 // Components entry point on both backends.
 func BenchmarkComponentsBackends(b *testing.B) {
 	g := benchGraph()
-	for _, bk := range []Backend{BackendSimulated, BackendNative} {
+	for _, bk := range []Backend{BackendSimulated, BackendNative, BackendIncremental} {
 		b.Run(bk.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := Components(g, WithSeed(1), WithBackend(bk)); err != nil {
@@ -84,6 +85,31 @@ func BenchmarkComponentsBackends(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkIncrementalBatches is the streaming scenario: the benchGraph
+// workload replayed in 16 batches through the Incremental handle, so
+// the baseline tracks per-batch maintenance cost next to the one-shot
+// backends above.
+func BenchmarkIncrementalBatches(b *testing.B) {
+	g := benchGraph()
+	batches := g.EdgeBatches(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inc, err := NewIncremental(g.N)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, batch := range batches {
+			if _, err := inc.AddEdges(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if inc.ComponentCount() == 0 {
+			b.Fatal("no components")
+		}
+		inc.Close()
 	}
 }
 

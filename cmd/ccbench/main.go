@@ -1,16 +1,17 @@
-// Command ccbench runs the reproduction experiments E1–E11 and prints
+// Command ccbench runs the reproduction experiments E1–E12 and prints
 // their tables. The output of `ccbench -scale full` is the source of
-// EXPERIMENTS.md. E11 compares the two execution backends (simulated
-// PRAM vs native shared-memory) on wall clock in one table;
+// EXPERIMENTS.md. E11 compares the simulated and native execution
+// backends on wall clock, E12 the incremental streaming backend
+// against recompute-per-batch;
 //
-//	ccbench -experiment E11 -format json > BENCH_$(date +%Y%m%d).json
+//	ccbench -experiment E11,E12 -format json > BENCH_$(date +%Y%m%d).json
 //
-// snapshots it as the machine-readable artifact tracked across
+// snapshots them as the machine-readable artifact tracked across
 // commits.
 //
 // Usage:
 //
-//	ccbench [-experiment all|E1,...,E11] [-scale quick|full] [-format text|markdown|csv|json]
+//	ccbench [-experiment all|E1,...,E12] [-scale quick|full] [-format text|markdown|csv|json]
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("experiment", "all", "comma-separated experiment ids (E1..E11) or 'all'")
+	expFlag := flag.String("experiment", "all", "comma-separated experiment ids (E1..E12) or 'all'")
 	scaleFlag := flag.String("scale", "quick", "quick (seconds) or full (minutes, EXPERIMENTS.md scale)")
 	formatFlag := flag.String("format", "text", "output format: text, markdown, csv, or json")
 	flag.Parse()

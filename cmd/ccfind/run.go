@@ -16,6 +16,8 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("ccfind", flag.ContinueOnError)
 	algo := fs.String("algo", "fast", "fast (Thm 3), loglog (Thm 1), or vanilla")
 	forest := fs.Bool("forest", false, "also compute a spanning forest (Thm 2)")
+	batches := fs.Int("batches", 0, "replay the edges in K batches through the streaming incremental backend, reporting per-batch latency (0 = one-shot -algo run)")
+	workers := fs.Int("workers", 0, "worker goroutines for -batches (0 = GOMAXPROCS)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	verbose := fs.Bool("v", false, "print per-vertex labels")
 	if err := fs.Parse(args); err != nil {
@@ -34,6 +36,25 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	g, err := graph.ReadEdgeList(r)
 	if err != nil {
 		return err
+	}
+
+	if *batches > 0 {
+		if *forest {
+			return fmt.Errorf("-forest is not supported with -batches (the streaming backend maintains components, not a forest)")
+		}
+		// The streaming backend is deterministic and not algorithm-
+		// selectable: reject explicitly-set flags it would silently
+		// ignore rather than run a different engine than asked for.
+		var conflict error
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "algo" || f.Name == "seed" {
+				conflict = fmt.Errorf("-%s is not supported with -batches (the streaming incremental backend is seedless and not algorithm-selectable)", f.Name)
+			}
+		})
+		if conflict != nil {
+			return conflict
+		}
+		return runBatches(g, *batches, *workers, *verbose, out)
 	}
 
 	var res *pramcc.Result
@@ -67,6 +88,35 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		fmt.Fprintf(out, "forest edges: %d\n", len(fr.Edges))
 		for _, e := range fr.Edges {
 			fmt.Fprintf(out, "%d %d\n", e[0], e[1])
+		}
+	}
+	return nil
+}
+
+// runBatches replays g's edges in k batches through the streaming
+// incremental backend, printing one latency line per batch and a
+// final summary.
+func runBatches(g *graph.Graph, k, workers int, verbose bool, out io.Writer) error {
+	inc, err := pramcc.NewIncremental(g.N, pramcc.WithWorkers(workers))
+	if err != nil {
+		return err
+	}
+	defer inc.Close()
+	// EdgeBatches caps k at the edge count; report the real total.
+	batches := g.EdgeBatches(k)
+	for _, batch := range batches {
+		bs, err := inc.AddEdges(batch)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "batch %d/%d: edges=%d total-edges=%d components=%d wall=%v\n",
+			bs.Batch, len(batches), bs.Edges, bs.TotalEdges, bs.Components, bs.Wall)
+	}
+	fmt.Fprintf(out, "n=%d m=%d components=%d batches=%d backend=incremental\n",
+		g.N, g.NumEdges(), inc.ComponentCount(), inc.BatchCount())
+	if verbose {
+		for v, l := range inc.Labels() {
+			fmt.Fprintf(out, "%d %d\n", v, l)
 		}
 	}
 	return nil

@@ -80,3 +80,48 @@ func TestRunErrors(t *testing.T) {
 		t.Fatal("missing file accepted")
 	}
 }
+
+func TestRunBatches(t *testing.T) {
+	g := graph.DisjointUnion(graph.Path(30), graph.Clique(6))
+	var out bytes.Buffer
+	if err := run([]string{"-batches", "4", "-v"}, strings.NewReader(edgeListString(t, g)), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"batch 1/4:", "batch 4/4:", "components=2", "batches=4", "backend=incremental"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("batches output missing %q:\n%s", want, s)
+		}
+	}
+	if len(strings.Split(strings.TrimSpace(s), "\n")) != 4+1+g.N {
+		t.Fatalf("expected 4 batch lines + summary + %d label lines:\n%s", g.N, s)
+	}
+}
+
+func TestRunBatchesRejectsForest(t *testing.T) {
+	if err := run([]string{"-batches", "2", "-forest"}, strings.NewReader("2 1\n0 1\n"), &bytes.Buffer{}); err == nil {
+		t.Fatal("-batches with -forest accepted")
+	}
+}
+
+func TestRunBatchesRejectsAlgoAndSeed(t *testing.T) {
+	for _, args := range [][]string{
+		{"-batches", "2", "-algo", "vanilla"},
+		{"-batches", "2", "-seed", "7"},
+	} {
+		if err := run(args, strings.NewReader("3 2\n0 1\n1 2\n"), &bytes.Buffer{}); err == nil {
+			t.Fatalf("%v accepted", args)
+		}
+	}
+}
+
+func TestRunBatchesCappedDenominator(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-batches", "10"}, strings.NewReader("4 3\n0 1\n1 2\n2 3\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "batch 3/3:") || strings.Contains(s, "/10:") {
+		t.Fatalf("denominator not capped to actual batch count:\n%s", s)
+	}
+}

@@ -16,9 +16,9 @@
 // work, peak processors, peak space) so the paper's bounds can be
 // checked empirically; see EXPERIMENTS.md and cmd/ccbench.
 //
-// # Two execution backends
+// # Three execution backends
 //
-// The package has two interchangeable execution backends behind the
+// The package has three interchangeable execution backends behind the
 // Components entry point. BackendSimulated (the default) is the
 // step-synchronous ARBITRARY CRCW PRAM simulator the four
 // algorithm-specific entry points above always use: every model step
@@ -29,8 +29,27 @@
 // sharded over a reusable worker pool — that computes the identical
 // partition as fast as the hardware allows and fills only the real
 // Stats fields (Backend, Wall, Workers, Rounds), leaving the
-// model-only ones zero. Experiment E11 and examples/nativespeed
-// compare the two side by side.
+// model-only ones zero. BackendIncremental (internal/incremental) is
+// a lock-free concurrent union-find (CAS link-by-index with path
+// splitting) built for streaming: under Components it ingests the
+// whole graph as one batch and returns the same partition as the
+// other two backends. Experiments E11 and E12 and the
+// examples/nativespeed and examples/streaming programs compare the
+// backends side by side.
+//
+// # Streaming updates
+//
+// When edges arrive over time, the Incremental handle keeps the
+// labeling fresh without recomputing from scratch: NewIncremental
+// creates a live engine over a fixed vertex set, AddEdges ingests one
+// batch (Θ(batch) union work plus a Θ(n) snapshot flatten — never a
+// rescan of previously ingested edges), and
+// SameComponent / ComponentCount / Labels answer from a flattened
+// snapshot taken at the last batch boundary. Queries are safe to call
+// concurrently with an in-flight AddEdges — they see the previous
+// consistent snapshot, never a half-ingested batch. The cmd/ccfind
+// -batches mode replays an edge file through this API and reports
+// per-batch latency.
 //
 // Graphs are built with the repro/graph package:
 //
@@ -38,4 +57,13 @@
 //	res, err := pramcc.Components(g, pramcc.WithBackend(pramcc.BackendNative))
 //	if err != nil { ... }
 //	fmt.Println(res.NumComponents, res.Stats.Wall)
+//
+// and streamed in batches with graph.EdgeBatches:
+//
+//	inc, _ := pramcc.NewIncremental(g.N)
+//	defer inc.Close()
+//	for _, batch := range g.EdgeBatches(16) {
+//		stats, _ := inc.AddEdges(batch)
+//		fmt.Println(stats.Components, stats.Wall)
+//	}
 package pramcc

@@ -144,6 +144,36 @@ func (g *Graph) Edges() [][2]int {
 	return out
 }
 
+// EdgeBatches splits the edge list into k contiguous batches of
+// near-equal size (sizes differ by at most one, earlier batches get
+// the extra edges), preserving insertion order — the replay helper
+// behind the streaming backend: ccfind -batches, experiment E12, and
+// the batch-split-invariance tests. The batches are subslices of one
+// freshly built edge list (see Edges), so they are cheap but share a
+// backing array. k < 1 is treated as 1; if the graph has fewer than k
+// edges, fewer (possibly zero) batches are returned, none of them
+// empty.
+func (g *Graph) EdgeBatches(k int) [][][2]int {
+	edges := g.Edges()
+	m := len(edges)
+	if k < 1 {
+		k = 1
+	}
+	if k > m {
+		k = m
+	}
+	out := make([][][2]int, 0, k)
+	for i, start := 0, 0; i < k; i++ {
+		size := m / k
+		if i < m%k {
+			size++
+		}
+		out = append(out, edges[start:start+size:start+size])
+		start += size
+	}
+	return out
+}
+
 // SortedDedupEdges returns the edge list with endpoints normalized
 // (min,max), sorted, and duplicates removed. Useful in tests.
 func (g *Graph) SortedDedupEdges() [][2]int {

@@ -1,0 +1,159 @@
+package pramcc
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/graph"
+	"repro/internal/baseline"
+	"repro/internal/check"
+)
+
+// TestIncrementalStreaming: the happy path of the streaming API — a
+// graph replayed in batches with fresh answers between batches.
+func TestIncrementalStreaming(t *testing.T) {
+	g := graph.CliqueBeads(graph.CliqueBeadsSpec{Beads: 20, Size: 10, IntraDeg: 6, Bridges: 1, Seed: 7})
+	inc, err := NewIncremental(g.N, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inc.Close()
+	if inc.ComponentCount() != g.N || inc.N() != g.N {
+		t.Fatalf("fresh handle: count=%d n=%d", inc.ComponentCount(), inc.N())
+	}
+	batches := g.EdgeBatches(7)
+	var total int64
+	for i, batch := range batches {
+		bs, err := inc.AddEdges(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += int64(len(batch))
+		if bs.Batch != i+1 || bs.Edges != len(batch) || bs.TotalEdges != total {
+			t.Fatalf("batch stats %+v, want batch=%d edges=%d total=%d", bs, i+1, len(batch), total)
+		}
+		if bs.Components != inc.ComponentCount() {
+			t.Fatalf("BatchStats.Components=%d, handle says %d", bs.Components, inc.ComponentCount())
+		}
+	}
+	if inc.BatchCount() != len(batches) || inc.EdgeCount() != total {
+		t.Fatalf("bookkeeping: batches=%d edges=%d", inc.BatchCount(), inc.EdgeCount())
+	}
+	if err := check.SamePartition(inc.Labels(), baseline.Components(g)); err != nil {
+		t.Fatal(err)
+	}
+	res := inc.Result()
+	if res.Stats.Backend != BackendIncremental || res.Stats.Rounds != len(batches) {
+		t.Fatalf("Result stats: %+v", res.Stats)
+	}
+	if res.NumComponents != inc.ComponentCount() {
+		t.Fatalf("Result components %d, handle %d", res.NumComponents, inc.ComponentCount())
+	}
+}
+
+// TestIncrementalMatchesSimulated: after any randomized batch split,
+// the streaming handle's partition equals the simulated Theorem-3
+// partition — the acceptance triangle of ISSUE 2 on the streaming
+// path.
+func TestIncrementalMatchesSimulated(t *testing.T) {
+	g := graph.Gnm(2000, 6000, 19)
+	sim, err := Components(g, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	edges := g.Edges()
+	for trial := 0; trial < 3; trial++ {
+		rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+		inc, err := NewIncremental(g.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for lo := 0; lo < len(edges); {
+			hi := lo + 1 + rng.Intn(len(edges)-lo)
+			if _, err := inc.AddEdges(edges[lo:hi]); err != nil {
+				t.Fatal(err)
+			}
+			lo = hi
+		}
+		if err := check.SamePartition(inc.Labels(), sim.Labels); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		inc.Close()
+	}
+}
+
+// TestIncrementalErrors: constructor and batch validation.
+func TestIncrementalErrors(t *testing.T) {
+	if _, err := NewIncremental(-1); err == nil {
+		t.Fatal("NewIncremental(-1) succeeded")
+	}
+	inc, err := NewIncremental(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.AddEdges([][2]int{{0, 10}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if _, err := inc.AddEdges([][2]int{{-1, 0}}); err == nil {
+		t.Fatal("negative endpoint accepted")
+	}
+	// A rejected batch must not have been partially applied.
+	if _, err := inc.AddEdges([][2]int{{0, 1}, {2, 99}}); err == nil {
+		t.Fatal("half-bad batch accepted")
+	}
+	if inc.SameComponent(0, 1) {
+		t.Fatal("rejected batch was partially applied")
+	}
+	if bs, err := inc.AddEdges([][2]int{{0, 1}}); err != nil || bs.Components != 9 {
+		t.Fatalf("good batch after rejections: %+v, %v", bs, err)
+	}
+	inc.Close()
+	inc.Close() // double Close is a no-op
+	if _, err := inc.AddEdges([][2]int{{0, 1}}); err == nil {
+		t.Fatal("AddEdges after Close succeeded")
+	}
+	if !inc.SameComponent(0, 1) {
+		t.Fatal("queries must stay valid after Close")
+	}
+}
+
+// TestIncrementalConcurrentQueries: the documented contract — queries
+// racing AddEdges are safe and see consistent snapshots (run under
+// -race in CI).
+func TestIncrementalConcurrentQueries(t *testing.T) {
+	g := graph.Gnm(3000, 15000, 23)
+	inc, err := NewIncremental(g.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inc.Close()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = inc.ComponentCount()
+					_ = inc.SameComponent(0, g.N-1)
+				}
+			}
+		}()
+	}
+	for _, batch := range g.EdgeBatches(40) {
+		if _, err := inc.AddEdges(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := check.SamePartition(inc.Labels(), baseline.Components(g)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,7 +1,9 @@
 // Package bench is the experiment harness behind cmd/ccbench and
 // bench_test.go. Each experiment E1–E10 reproduces one claim of the
-// paper (the per-experiment index lives in DESIGN.md §4) and renders
-// an aligned text table suitable for EXPERIMENTS.md.
+// paper, and E11–E12 check the repo's own engineering claims (native
+// wall clock, incremental batch updates); the per-experiment index
+// with interpreted results lives in EXPERIMENTS.md, whose tables are
+// rendered by this package.
 package bench
 
 import (

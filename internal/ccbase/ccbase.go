@@ -38,8 +38,8 @@ const (
 	ModeArbitrary
 )
 
-// Params are the scaled constants of the algorithm (see DESIGN.md §2
-// for the paper values they stand in for).
+// Params are the scaled constants of the algorithm; each field's
+// comment names the paper value it stands in for.
 type Params struct {
 	Mode Mode
 	Seed uint64

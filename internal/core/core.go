@@ -24,8 +24,8 @@ import (
 	"repro/internal/pram"
 )
 
-// Params are the scaled constants of the algorithm. DESIGN.md §2 maps
-// each to the paper's value and justifies the scaling.
+// Params are the scaled constants of the algorithm; each field's
+// comment maps it to the paper's value and justifies the scaling.
 type Params struct {
 	Seed uint64
 

@@ -1,0 +1,274 @@
+package incremental
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/graph"
+	"repro/internal/baseline"
+	"repro/internal/check"
+	"repro/internal/native"
+)
+
+// zoo is a compact generator spread: every structural family the
+// engine could plausibly mishandle (deep paths, stars, dense cliques,
+// multigraphs, isolated vertices, multiple components).
+func zoo() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"path":        graph.Path(300),
+		"star":        graph.Star(200),
+		"grid2d":      graph.Grid2D(17, 23),
+		"clique":      graph.Clique(40),
+		"gnm":         graph.Gnm(2500, 8000, 7),
+		"gnm-sparse":  graph.Gnm(2000, 700, 8),
+		"rmat":        graph.RMAT(1024, 4000, 9),
+		"beads":       graph.CliqueBeads(graph.CliqueBeadsSpec{Beads: 24, Size: 10, IntraDeg: 6, Bridges: 2, Seed: 5}),
+		"disjoint":    graph.DisjointUnion(graph.Path(80), graph.Clique(15), graph.Gnm(400, 1200, 11)),
+		"isolated":    graph.WithIsolated(graph.Grid2D(8, 8), 13),
+		"caterpillar": graph.Caterpillar(40, 3),
+	}
+}
+
+// TestEngineMatchesNativeLabels: one-batch ingestion must produce the
+// exact labels of the native engine (both canonicalize to component
+// minima), not merely the same partition.
+func TestEngineMatchesNativeLabels(t *testing.T) {
+	for name, g := range zoo() {
+		t.Run(name, func(t *testing.T) {
+			e := New(g.N, Options{})
+			defer e.Close()
+			snap := e.AddGraph(g)
+			nat := native.Components(g, native.Options{})
+			if len(snap.Labels) != len(nat.Labels) {
+				t.Fatalf("label lengths differ: %d vs %d", len(snap.Labels), len(nat.Labels))
+			}
+			for v := range snap.Labels {
+				if snap.Labels[v] != nat.Labels[v] {
+					t.Fatalf("label[%d] = %d, native %d", v, snap.Labels[v], nat.Labels[v])
+				}
+			}
+			if err := check.SamePartition(snap.Labels, baseline.Components(g)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestBatchSplitInvariance: the final partition must not depend on how
+// the edge stream is cut into batches, on the batch sizes, or on the
+// (shuffled) edge order within the stream.
+func TestBatchSplitInvariance(t *testing.T) {
+	for name, g := range zoo() {
+		t.Run(name, func(t *testing.T) {
+			want := native.Components(g, native.Options{}).Labels
+			rng := rand.New(rand.NewSource(42))
+			edges := g.Edges()
+			for trial := 0; trial < 4; trial++ {
+				rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+				e := New(g.N, Options{Workers: 1 + rng.Intn(8)})
+				// Random cut points: between 1 and 7 batches of random sizes.
+				for lo := 0; lo < len(edges); {
+					hi := lo + 1 + rng.Intn(len(edges)-lo)
+					e.AddEdges(edges[lo:hi])
+					lo = hi
+				}
+				snap := e.Snapshot()
+				for v := range want {
+					if snap.Labels[v] != want[v] {
+						t.Fatalf("trial %d: label[%d] = %d, want %d", trial, v, snap.Labels[v], want[v])
+					}
+				}
+				if got := countDistinct(want); snap.Components != got {
+					t.Fatalf("trial %d: %d components, want %d", trial, snap.Components, got)
+				}
+				e.Close()
+			}
+		})
+	}
+}
+
+func countDistinct(labels []int32) int {
+	seen := map[int32]struct{}{}
+	for _, l := range labels {
+		seen[l] = struct{}{}
+	}
+	return len(seen)
+}
+
+// TestSnapshotMonotonicity: the component count never increases as
+// batches arrive, and queries between batches reflect exactly the
+// edges ingested so far (checked against a union-find replay).
+func TestSnapshotMonotonicity(t *testing.T) {
+	g := graph.CliqueBeads(graph.CliqueBeadsSpec{Beads: 16, Size: 8, IntraDeg: 5, Bridges: 1, Seed: 3})
+	e := New(g.N, Options{})
+	defer e.Close()
+	if e.ComponentCount() != g.N {
+		t.Fatalf("empty engine has %d components, want %d", e.ComponentCount(), g.N)
+	}
+	uf := baseline.NewUnionFind(g.N)
+	prev := g.N
+	for _, batch := range g.EdgeBatches(9) {
+		snap, err := e.AddEdges(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ed := range batch {
+			uf.Union(int32(ed[0]), int32(ed[1]))
+		}
+		if snap.Components > prev {
+			t.Fatalf("component count rose from %d to %d", prev, snap.Components)
+		}
+		prev = snap.Components
+		oracle := make([]int32, g.N)
+		for v := range oracle {
+			oracle[v] = uf.Find(int32(v))
+		}
+		if err := check.SamePartition(snap.Labels, oracle); err != nil {
+			t.Fatalf("mid-stream snapshot wrong: %v", err)
+		}
+	}
+}
+
+// TestConcurrentQueriesDuringIngest: SameComponent/ComponentCount/
+// Snapshot racing an in-flight AddEdges must be safe (the race
+// detector is the assertion) and must only ever observe consistent
+// batch-boundary states: a snapshot's component count always matches
+// its labels.
+func TestConcurrentQueriesDuringIngest(t *testing.T) {
+	g := graph.Gnm(4000, 20000, 21)
+	e := New(g.N, Options{})
+	defer e.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := e.Snapshot()
+				if got := countDistinct(s.Labels); got != s.Components {
+					t.Errorf("inconsistent snapshot: %d distinct labels, Components=%d", got, s.Components)
+					return
+				}
+				_ = e.SameComponent(r, g.N-1-r)
+			}
+		}(r)
+	}
+	for _, batch := range g.EdgeBatches(50) {
+		e.AddEdges(batch)
+	}
+	close(stop)
+	wg.Wait()
+	if err := check.SamePartition(e.Snapshot().Labels, baseline.Components(g)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDegenerateInputs: empty graphs, self-loops, parallel edges,
+// empty batches.
+func TestDegenerateInputs(t *testing.T) {
+	e := New(0, Options{})
+	if s, err := e.AddEdges(nil); err != nil || s.Components != 0 || s.Batches != 1 {
+		t.Fatalf("empty engine snapshot: %+v, %v", s, err)
+	}
+	e.Close()
+
+	e = New(5, Options{Workers: 3})
+	defer e.Close()
+	e.AddEdges(nil) // empty batch still publishes
+	if e.Batches() != 1 || e.ComponentCount() != 5 {
+		t.Fatalf("after empty batch: batches=%d components=%d", e.Batches(), e.ComponentCount())
+	}
+	snap, err := e.AddEdges([][2]int{{2, 2}, {0, 1}, {1, 0}, {0, 1}}) // self-loop + parallels
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Components != 4 {
+		t.Fatalf("components = %d, want 4", snap.Components)
+	}
+	if snap.Edges != 4 || snap.Batches != 2 {
+		t.Fatalf("snapshot bookkeeping: %+v", snap)
+	}
+	if !e.SameComponent(0, 1) || e.SameComponent(0, 2) {
+		t.Fatal("SameComponent wrong after degenerate batch")
+	}
+
+	if _, err := e.AddEdges([][2]int{{0, 5}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	// A rejected batch must not be applied even partially: the valid
+	// {0,2} edge precedes the bad one, yet 2 must stay isolated.
+	if _, err := e.AddEdges([][2]int{{0, 2}, {-1, 2}}); err == nil {
+		t.Fatal("negative endpoint accepted")
+	}
+	if e.SameComponent(0, 2) || e.Batches() != 2 {
+		t.Fatal("rejected batch was partially applied")
+	}
+}
+
+// TestWorkerCounts: every worker count gives the same labels.
+func TestWorkerCounts(t *testing.T) {
+	g := graph.Gnm(3000, 9000, 17)
+	want := native.Components(g, native.Options{}).Labels
+	for _, w := range []int{1, 2, 3, 7, 16} {
+		e := New(g.N, Options{Workers: w})
+		snap := e.AddGraph(g)
+		for v := range want {
+			if snap.Labels[v] != want[v] {
+				t.Fatalf("workers=%d: label[%d] = %d, want %d", w, v, snap.Labels[v], want[v])
+			}
+		}
+		if e.Workers() != w {
+			t.Fatalf("Workers() = %d, want %d", e.Workers(), w)
+		}
+		e.Close()
+	}
+}
+
+func BenchmarkIncrementalOneBatch(b *testing.B) {
+	g := graph.Gnm(100000, 400000, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := New(g.N, Options{})
+		e.AddGraph(g)
+		e.Close()
+	}
+}
+
+func BenchmarkIncrementalStream16(b *testing.B) {
+	g := graph.Gnm(100000, 400000, 42)
+	batches := g.EdgeBatches(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := New(g.N, Options{})
+		for _, batch := range batches {
+			e.AddEdges(batch)
+		}
+		e.Close()
+	}
+}
+
+// BenchmarkIncrementalAppendBatch measures the steady-state cost of
+// one small append batch against an already-built labeling — the
+// latency a streaming consumer actually pays per update.
+func BenchmarkIncrementalAppendBatch(b *testing.B) {
+	g := graph.Gnm(100000, 400000, 42)
+	e := New(g.N, Options{})
+	defer e.Close()
+	e.AddGraph(g)
+	rng := rand.New(rand.NewSource(7))
+	batch := make([][2]int, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range batch {
+			batch[j] = [2]int{rng.Intn(g.N), rng.Intn(g.N)}
+		}
+		e.AddEdges(batch)
+	}
+}

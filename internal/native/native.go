@@ -72,8 +72,8 @@ func Components(g *graph.Graph, opt Options) *Result {
 		return res
 	}
 
-	p := newPool(workers)
-	defer p.close()
+	p := NewPool(workers)
+	defer p.Close()
 
 	var cursor atomic.Int64
 	var changed atomic.Bool
@@ -83,7 +83,7 @@ func Components(g *graph.Graph, opt Options) *Result {
 	sweep := func(total int, body func(lo, hi int) bool) bool {
 		cursor.Store(0)
 		changed.Store(false)
-		p.run(func(int) {
+		p.Run(func(int) {
 			local := false
 			for {
 				lo := int(cursor.Add(grain)) - grain

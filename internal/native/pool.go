@@ -2,18 +2,21 @@ package native
 
 import "sync"
 
-// pool is a reusable fixed-size worker pool. The workers are spawned
-// once per engine run and fed one job per round via per-worker
-// channels, instead of spawning a fresh goroutine set for every
-// parallel step the way the PRAM simulator does. run broadcasts the
-// job to all workers and blocks until every worker has returned.
-type pool struct {
+// Pool is a reusable fixed-size worker pool. The workers are spawned
+// once and fed one job per round via per-worker channels, instead of
+// spawning a fresh goroutine set for every parallel step the way the
+// PRAM simulator does. Run broadcasts the job to all workers and
+// blocks until every worker has returned. Besides this package's
+// one-shot engine, internal/incremental keeps a Pool alive across
+// streaming batches.
+type Pool struct {
 	jobs []chan func(worker int)
 	wg   sync.WaitGroup
 }
 
-func newPool(workers int) *pool {
-	p := &pool{jobs: make([]chan func(worker int), workers)}
+// NewPool spawns a pool of the given worker count (must be > 0).
+func NewPool(workers int) *Pool {
+	p := &Pool{jobs: make([]chan func(worker int), workers)}
 	for i := range p.jobs {
 		ch := make(chan func(worker int))
 		p.jobs[i] = ch
@@ -27,8 +30,11 @@ func newPool(workers int) *pool {
 	return p
 }
 
-// run executes f once on every worker and waits for all of them.
-func (p *pool) run(f func(worker int)) {
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return len(p.jobs) }
+
+// Run executes f once on every worker and waits for all of them.
+func (p *Pool) Run(f func(worker int)) {
 	p.wg.Add(len(p.jobs))
 	for _, ch := range p.jobs {
 		ch <- f
@@ -36,8 +42,8 @@ func (p *pool) run(f func(worker int)) {
 	p.wg.Wait()
 }
 
-// close terminates the worker goroutines. The pool must be idle.
-func (p *pool) close() {
+// Close terminates the worker goroutines. The pool must be idle.
+func (p *Pool) Close() {
 	for _, ch := range p.jobs {
 		close(ch)
 	}

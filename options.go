@@ -18,15 +18,26 @@ const (
 	// partition, real wall-clock speed; all model-cost Stats fields
 	// are zero.
 	BackendNative
+	// BackendIncremental runs on the streaming union-find engine
+	// (internal/incremental): a lock-free CAS-linked disjoint-set
+	// forest built for batched edge arrival. Components feeds the
+	// whole graph as a single batch and returns the same partition as
+	// the other backends; the engine's real strength is the streaming
+	// Incremental handle, where each batch costs Θ(batch) union work
+	// plus a Θ(n) snapshot flatten instead of a full multi-round
+	// recompute over all edges. Model-only Stats fields are zero.
+	BackendIncremental
 )
 
-// String returns "simulated" or "native".
+// String returns "simulated", "native", or "incremental".
 func (b Backend) String() string {
 	switch b {
 	case BackendSimulated:
 		return "simulated"
 	case BackendNative:
 		return "native"
+	case BackendIncremental:
+		return "incremental"
 	}
 	return fmt.Sprintf("Backend(%d)", int(b))
 }
@@ -38,8 +49,10 @@ func ParseBackend(s string) (Backend, error) {
 		return BackendSimulated, nil
 	case "native":
 		return BackendNative, nil
+	case "incremental", "inc":
+		return BackendIncremental, nil
 	}
-	return 0, fmt.Errorf("pramcc: unknown backend %q (want simulated or native)", s)
+	return 0, fmt.Errorf("pramcc: unknown backend %q (want simulated, native, or incremental)", s)
 }
 
 // Option configures an algorithm run.

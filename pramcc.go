@@ -8,6 +8,7 @@ import (
 	"repro/graph"
 	"repro/internal/ccbase"
 	"repro/internal/core"
+	"repro/internal/incremental"
 	"repro/internal/native"
 	"repro/internal/pram"
 	"repro/internal/spanning"
@@ -90,31 +91,52 @@ func apply(opts []Option) config {
 
 // Components computes the connected components of g on the backend
 // selected with WithBackend: the model-cost PRAM simulation (default;
-// equivalent to ConnectedComponents, the paper's Theorem-3 algorithm)
-// or the native shared-memory engine, which computes the same
-// partition as fast as the hardware allows and leaves every model-only
-// Stats field zero. This is the recommended entry point when the goal
-// is the answer rather than a specific theorem's cost profile.
+// equivalent to ConnectedComponents, the paper's Theorem-3 algorithm),
+// the native shared-memory engine, or the streaming union-find engine
+// fed the whole graph as one batch. All three compute the same
+// partition; the non-simulated backends leave every model-only Stats
+// field zero. This is the recommended entry point when the goal is the
+// answer rather than a specific theorem's cost profile.
 func Components(g *graph.Graph, opts ...Option) (*Result, error) {
 	c := apply(opts)
-	if c.backend != BackendNative {
+	switch c.backend {
+	case BackendNative:
+		if err := validate(g); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res := native.Components(g, native.Options{Workers: c.workers})
+		return &Result{
+			Labels:        res.Labels,
+			NumComponents: countLabels(res.Labels),
+			Stats: Stats{
+				Backend: BackendNative,
+				Wall:    time.Since(start),
+				Workers: res.Workers,
+				Rounds:  res.Rounds,
+			},
+		}, nil
+	case BackendIncremental:
+		if err := validate(g); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		eng := incremental.New(g.N, incremental.Options{Workers: c.workers})
+		defer eng.Close()
+		snap := eng.AddGraph(g)
+		return &Result{
+			Labels:        snap.Labels,
+			NumComponents: snap.Components,
+			Stats: Stats{
+				Backend: BackendIncremental,
+				Wall:    time.Since(start),
+				Workers: eng.Workers(),
+				Rounds:  snap.Batches, // one batch for a one-shot run
+			},
+		}, nil
+	default:
 		return ConnectedComponents(g, opts...)
 	}
-	if err := validate(g); err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	res := native.Components(g, native.Options{Workers: c.workers})
-	return &Result{
-		Labels:        res.Labels,
-		NumComponents: countLabels(res.Labels),
-		Stats: Stats{
-			Backend: BackendNative,
-			Wall:    time.Since(start),
-			Workers: res.Workers,
-			Rounds:  res.Rounds,
-		},
-	}, nil
 }
 
 // ConnectedComponents computes the connected components of g with the

@@ -16,13 +16,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
-BENCH="${BENCH:-BenchmarkComponentsBackends|BenchmarkNative}"
+BENCH="${BENCH:-BenchmarkComponentsBackends|BenchmarkNative|BenchmarkIncremental}"
 BASELINE=internal/bench/testdata/baseline.txt
 CURRENT="$(mktemp /tmp/bench_current.XXXXXX.txt)"
 trap 'rm -f "$CURRENT"' EXIT
 
-echo ">> go test -run '^$' -bench '$BENCH' -count $COUNT (., ./internal/native)"
-go test -run '^$' -bench "$BENCH" -count "$COUNT" . ./internal/native | tee "$CURRENT"
+echo ">> go test -run '^$' -bench '$BENCH' -count $COUNT (., ./internal/native, ./internal/incremental)"
+go test -run '^$' -bench "$BENCH" -count "$COUNT" . ./internal/native ./internal/incremental | tee "$CURRENT"
 
 if [ "${1:-}" = "update" ]; then
     mkdir -p "$(dirname "$BASELINE")"

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Docs consistency: fail if any *.md file referenced from Go sources or
+# from README.md does not exist in the repo. This is the guard against
+# the pre-ISSUE-2 state, where six source locations pointed readers at
+# an EXPERIMENTS.md that was never written.
+#
+#   scripts/check_docs.sh
+#
+# References are bare markdown file names (EXPERIMENTS.md, ROADMAP.md,
+# docs/foo.md, ...) resolved relative to the repo root. Placeholder
+# names containing shell/template metacharacters ($, <, >, *) are
+# ignored.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+refs="$(
+    {
+        grep -rhoE '[A-Za-z0-9_./-]+\.md' --include='*.go' . 2>/dev/null || true
+        grep -hoE '[A-Za-z0-9_./-]+\.md' README.md 2>/dev/null || true
+    } | sed 's#^\./##' | sort -u
+)"
+
+fail=0
+for ref in $refs; do
+    case "$ref" in
+    *'$'* | *'<'* | *'>'* | *'*'*) continue ;;
+    esac
+    if [ ! -f "$ref" ]; then
+        echo "check_docs: missing $ref (referenced from Go sources or README.md)" >&2
+        # Show the referencing locations to make the failure actionable.
+        grep -rn --include='*.go' -F "$ref" . | head -5 >&2 || true
+        grep -n -F "$ref" README.md | head -5 >&2 || true
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "check_docs: all referenced .md files exist"
