@@ -1,17 +1,20 @@
-// Command ccbench runs the reproduction experiments E1–E12 and prints
+// Command ccbench runs the reproduction experiments E1–E13 and prints
 // their tables. The output of `ccbench -scale full` is the source of
 // EXPERIMENTS.md. E11 compares the simulated and native execution
 // backends on wall clock, E12 the incremental streaming backend
-// against recompute-per-batch;
+// against recompute-per-batch, E13 the three graph loaders (sequential
+// text, parallel text, binary) on load throughput;
 //
-//	ccbench -experiment E11,E12 -format json > BENCH_$(date +%Y%m%d).json
+//	ccbench -experiment E11,E12,E13 -format json > BENCH_$(date +%Y%m%d).json
 //
 // snapshots them as the machine-readable artifact tracked across
-// commits.
+// commits. E13 defaults to generated workloads; -graph FILE points it
+// at a real graph file instead, in either format (auto-detected, like
+// every graph input in this repo).
 //
 // Usage:
 //
-//	ccbench [-experiment all|E1,...,E12] [-scale quick|full] [-format text|markdown|csv|json]
+//	ccbench [-experiment all|E1,...,E13] [-scale quick|full] [-format text|markdown|csv|json] [-graph FILE]
 package main
 
 import (
@@ -25,9 +28,10 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("experiment", "all", "comma-separated experiment ids (E1..E12) or 'all'")
+	expFlag := flag.String("experiment", "all", "comma-separated experiment ids (E1..E13) or 'all'")
 	scaleFlag := flag.String("scale", "quick", "quick (seconds) or full (minutes, EXPERIMENTS.md scale)")
 	formatFlag := flag.String("format", "text", "output format: text, markdown, csv, or json")
+	graphFlag := flag.String("graph", "", "graph file for E13 (text or binary, auto-detected) instead of generated workloads")
 	flag.Parse()
 
 	format, err := bench.ParseFormat(*formatFlag)
@@ -60,7 +64,17 @@ func main() {
 			continue
 		}
 		start := time.Now()
-		table := e.Run(scale)
+		var table *bench.Table
+		if e.ID == "E13" && *graphFlag != "" {
+			var err error
+			table, err = bench.E13File(*graphFlag)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ccbench:", err)
+				os.Exit(1)
+			}
+		} else {
+			table = e.Run(scale)
+		}
 		if err := table.RenderTo(os.Stdout, format); err != nil {
 			fmt.Fprintln(os.Stderr, "ccbench:", err)
 			os.Exit(1)

@@ -17,7 +17,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	algo := fs.String("algo", "fast", "fast (Thm 3), loglog (Thm 1), or vanilla")
 	forest := fs.Bool("forest", false, "also compute a spanning forest (Thm 2)")
 	batches := fs.Int("batches", 0, "replay the edges in K batches through the streaming incremental backend, reporting per-batch latency (0 = one-shot -algo run)")
-	workers := fs.Int("workers", 0, "worker goroutines for -batches (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "worker goroutines for the run — one-shot and -batches alike (0 = GOMAXPROCS)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	verbose := fs.Bool("v", false, "print per-vertex labels")
 	if err := fs.Parse(args); err != nil {
@@ -33,7 +33,9 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		defer f.Close()
 		r = f
 	}
-	g, err := graph.ReadEdgeList(r)
+	// ReadAuto accepts both graph formats: the text edge list and the
+	// binary format written by graphgen -format bin (see graph.ReadAuto).
+	g, err := graph.ReadAuto(r)
 	if err != nil {
 		return err
 	}
@@ -57,14 +59,17 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		return runBatches(g, *batches, *workers, *verbose, out)
 	}
 
+	// -workers used to be consulted only by -batches; the one-shot
+	// path silently ignored it. Thread it through every algorithm.
+	common := []pramcc.Option{pramcc.WithSeed(*seed), pramcc.WithWorkers(*workers)}
 	var res *pramcc.Result
 	switch *algo {
 	case "fast":
-		res, err = pramcc.ConnectedComponents(g, pramcc.WithSeed(*seed))
+		res, err = pramcc.ConnectedComponents(g, common...)
 	case "loglog":
-		res, err = pramcc.ConnectedComponentsLogLog(g, pramcc.WithSeed(*seed))
+		res, err = pramcc.ConnectedComponentsLogLog(g, common...)
 	case "vanilla":
-		res, err = pramcc.VanillaComponents(g, pramcc.WithSeed(*seed))
+		res, err = pramcc.VanillaComponents(g, common...)
 	default:
 		return fmt.Errorf("unknown -algo %q (want fast, loglog, or vanilla)", *algo)
 	}
@@ -72,8 +77,8 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		return err
 	}
 
-	fmt.Fprintf(out, "n=%d m=%d components=%d rounds=%d pram-steps=%d\n",
-		g.N, g.NumEdges(), res.NumComponents, res.Stats.Rounds, res.Stats.PRAMSteps)
+	fmt.Fprintf(out, "n=%d m=%d components=%d rounds=%d pram-steps=%d workers=%d\n",
+		g.N, g.NumEdges(), res.NumComponents, res.Stats.Rounds, res.Stats.PRAMSteps, res.Stats.Workers)
 	if *verbose {
 		for v, l := range res.Labels {
 			fmt.Fprintf(out, "%d %d\n", v, l)
@@ -81,7 +86,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 
 	if *forest {
-		fr, err := pramcc.SpanningForest(g, pramcc.WithSeed(*seed))
+		fr, err := pramcc.SpanningForest(g, common...)
 		if err != nil {
 			return err
 		}

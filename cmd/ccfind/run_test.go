@@ -69,6 +69,60 @@ func TestRunFromFile(t *testing.T) {
 	}
 }
 
+// TestRunWorkersThreadedThroughOneShot: -workers used to be consulted
+// only by -batches; the one-shot -algo path must honor it too, visible
+// as workers=N in the summary line (Stats.Workers is the pool size the
+// run actually used).
+func TestRunWorkersThreadedThroughOneShot(t *testing.T) {
+	g := graph.DisjointUnion(graph.Path(10), graph.Clique(5))
+	in := edgeListString(t, g)
+	for _, algo := range []string{"fast", "loglog", "vanilla"} {
+		var out bytes.Buffer
+		if err := run([]string{"-algo", algo, "-workers", "3"}, strings.NewReader(in), &out); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(out.String(), "workers=3") {
+			t.Fatalf("%s: -workers 3 not honored by one-shot run: %s", algo, out.String())
+		}
+	}
+	// -forest shares the option set.
+	var out bytes.Buffer
+	if err := run([]string{"-forest", "-workers", "2"}, strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "workers=2") {
+		t.Fatalf("-forest run ignored -workers: %s", out.String())
+	}
+}
+
+// TestRunBinaryInput: ccfind must accept the binary format
+// transparently, from a file and from stdin.
+func TestRunBinaryInput(t *testing.T) {
+	g := graph.DisjointUnion(graph.Cycle(12), graph.Star(7))
+	var bin bytes.Buffer
+	if err := g.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.bin")
+	if err := os.WriteFile(path, bin.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "components=2") {
+		t.Fatalf("binary file run: %s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-batches", "3"}, bytes.NewReader(bin.Bytes()), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "backend=incremental") || !strings.Contains(out.String(), "components=2") {
+		t.Fatalf("binary stdin -batches run: %s", out.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-algo", "nope"}, strings.NewReader("2 1\n0 1\n"), &bytes.Buffer{}); err == nil {
 		t.Fatal("bad algo accepted")

@@ -25,6 +25,7 @@ func run(args []string, out io.Writer) error {
 	bridges := fs.Int("bridges", 2, "bridges between beads (beads)")
 	beta := fs.Float64("beta", 2.5, "power-law exponent (chunglu)")
 	seed := fs.Int64("seed", 1, "random seed")
+	format := fs.String("format", "text", "output format: text (edge list) or bin (binary, 8 bytes/edge; see graph.WriteBinary)")
 	stats := fs.Bool("stats", false, "print a summary to stderr-style trailer instead of edges")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,5 +66,12 @@ func run(args []string, out io.Writer) error {
 		_, err := fmt.Fprintln(out, g.Summary().String())
 		return err
 	}
-	return g.WriteEdgeList(out)
+	switch *format {
+	case "text":
+		return g.WriteEdgeList(out)
+	case "bin":
+		return g.WriteBinary(out)
+	default:
+		return fmt.Errorf("unknown -format %q (want text or bin)", *format)
+	}
 }

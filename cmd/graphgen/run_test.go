@@ -40,6 +40,46 @@ func TestRunAllFamiliesEmitReadableGraphs(t *testing.T) {
 	}
 }
 
+// TestRunBinaryFormat: -format bin emits the binary format, it decodes
+// to the identical graph as the text output, and ReadAuto tells the
+// two apart.
+func TestRunBinaryFormat(t *testing.T) {
+	args := []string{"-family", "gnm", "-n", "50", "-m", "120", "-seed", "3"}
+	var txt, bin bytes.Buffer
+	if err := run(args, &txt); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-format", "bin"}, args...), &bin); err != nil {
+		t.Fatal(err)
+	}
+	gt, err := graph.ReadAuto(bytes.NewReader(txt.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := graph.ReadAuto(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb.N != gt.N || gb.NumEdges() != gt.NumEdges() {
+		t.Fatalf("binary (%d,%d) != text (%d,%d)", gb.N, gb.NumEdges(), gt.N, gt.NumEdges())
+	}
+	for i := range gt.U {
+		if gt.U[i] != gb.U[i] || gt.V[i] != gb.V[i] {
+			t.Fatalf("arc %d differs", i)
+		}
+	}
+	// The text parser must NOT accept binary output by accident.
+	if _, err := graph.ReadEdgeList(bytes.NewReader(bin.Bytes())); err == nil {
+		t.Fatal("text parser accepted binary output")
+	}
+}
+
+func TestRunUnknownFormat(t *testing.T) {
+	if err := run([]string{"-family", "path", "-n", "4", "-format", "xml"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
 func TestRunStats(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-family", "star", "-n", "10", "-stats"}, &out); err != nil {

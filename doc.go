@@ -51,6 +51,26 @@
 // -batches mode replays an edge file through this API and reports
 // per-batch latency.
 //
+// # Graph formats and loading
+//
+// Graphs enter the system in two on-disk formats, and every consumer
+// (cmd/ccfind, cmd/ccbench -graph, and graph.ReadAuto callers) accepts
+// both transparently. The text edge list ("n m" header, one "u v" line
+// per edge; WriteEdgeList) is the human-readable interchange format;
+// the binary format (magic "PCCG" + version + n/m header + one
+// fixed-width little-endian record per edge; WriteBinary) is the bulk
+// format — 8 bytes per edge and a near-memcpy decode. Three loaders
+// cover the trade-offs: ReadEdgeList is the line-at-a-time streaming
+// reference, ReadEdgeListParallel chunks the input on line boundaries
+// and parses on a worker pool with a zero-allocation scanner (same
+// accept/reject semantics, several times the throughput), and
+// ReadBinary decodes the binary format fastest of all. ReadAuto sniffs
+// the magic and picks the right parser; experiment E13 tracks the
+// throughput ratios. All loaders validate what they read — malformed
+// headers (negative or over-int32 counts), out-of-range endpoints,
+// truncated binary files, and trailing garbage are errors, never
+// panics.
+//
 // Graphs are built with the repro/graph package:
 //
 //	g := graph.Gnm(100_000, 400_000, 1)

@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// generatorZoo returns one graph per generator family, the corpus the
+// format round-trip tests run over.
+func generatorZoo() map[string]*Graph {
+	return map[string]*Graph{
+		"path":      Path(37),
+		"cycle":     Cycle(24),
+		"star":      Star(19),
+		"grid":      Grid2D(7, 9),
+		"torus":     Torus2D(6, 8),
+		"tree":      RandomTree(64, 3),
+		"gnm":       Gnm(200, 800, 4),
+		"circulant": Circulant(30, 3),
+		"hypercube": Hypercube(6),
+		"rmat":      RMAT(128, 512, 5),
+		"chunglu":   ChungLu(150, 450, 2.5, 6),
+		"beads":     CliqueBeads(CliqueBeadsSpec{Beads: 6, Size: 8, IntraDeg: 6, Bridges: 2, Seed: 7}),
+		"empty":     New(5),
+		"loops":     FromEdges(4, [][2]int{{0, 0}, {1, 2}, {2, 2}}),
+		"multi":     FromEdges(3, [][2]int{{0, 1}, {0, 1}, {1, 2}}),
+	}
+}
+
+// sameGraph asserts exact equality: vertex count, arc slices, order.
+func sameGraph(t *testing.T, want, got *Graph) {
+	t.Helper()
+	if got.N != want.N {
+		t.Fatalf("N = %d, want %d", got.N, want.N)
+	}
+	if !bytes.Equal(int32Bytes(got.U), int32Bytes(want.U)) || !bytes.Equal(int32Bytes(got.V), int32Bytes(want.V)) {
+		t.Fatalf("arc slices differ: got %d arcs, want %d", len(got.U), len(want.U))
+	}
+}
+
+func int32Bytes(s []int32) []byte {
+	out := make([]byte, 4*len(s))
+	for i, v := range s {
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(v))
+	}
+	return out
+}
+
+func TestBinaryRoundTripAllGenerators(t *testing.T) {
+	for name, g := range generatorZoo() {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := g.WriteBinary(&buf); err != nil {
+				t.Fatal(err)
+			}
+			wantSize := binHeaderSize + 8*g.NumEdges()
+			if buf.Len() != wantSize {
+				t.Fatalf("binary size %d, want %d", buf.Len(), wantSize)
+			}
+			g2, err := ReadBinary(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g2.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			sameGraph(t, g, g2)
+		})
+	}
+}
+
+func TestReadAutoDetectsBothFormats(t *testing.T) {
+	g := Gnm(100, 400, 9)
+	var txt, bin bytes.Buffer
+	if err := g.WriteEdgeList(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	fromTxt, err := ReadAuto(&txt)
+	if err != nil {
+		t.Fatalf("text via ReadAuto: %v", err)
+	}
+	fromBin, err := ReadAuto(&bin)
+	if err != nil {
+		t.Fatalf("binary via ReadAuto: %v", err)
+	}
+	sameGraph(t, g, fromTxt)
+	sameGraph(t, g, fromBin)
+}
+
+func TestReadAutoErrors(t *testing.T) {
+	if _, err := ReadAuto(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadAuto(strings.NewReader("PC")); err == nil {
+		t.Error("short non-graph input accepted")
+	}
+}
+
+// binBytes serializes g and returns the raw bytes for corruption tests.
+func binBytes(t *testing.T, g *Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadBinaryCorruptInputs(t *testing.T) {
+	good := binBytes(t, Gnm(50, 200, 1))
+	mutate := func(f func(b []byte) []byte) []byte {
+		b := append([]byte(nil), good...)
+		return f(b)
+	}
+	cases := map[string][]byte{
+		"empty":            {},
+		"short header":     good[:10],
+		"bad magic":        mutate(func(b []byte) []byte { b[0] = 'X'; return b }),
+		"bad version":      mutate(func(b []byte) []byte { b[4] = 99; return b }),
+		"truncated edges":  good[:len(good)-5],
+		"trailing garbage": append(append([]byte(nil), good...), 0xEE),
+		"edge out of range": mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[binHeaderSize:], 1<<30)
+			return b
+		}),
+		"n over int32": mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[8:16], 1<<40)
+			return b
+		}),
+		"m over int32": mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[16:24], 1<<40)
+			return b
+		}),
+		// m claims more edges than the file holds: must fail on
+		// truncation, not allocate 2^31 records.
+		"huge m truncated": mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[16:24], 1<<31-1)
+			return b
+		}),
+	}
+	for name, data := range cases {
+		if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+		// ReadAuto must reject them identically (anything with the
+		// magic goes down the binary path).
+		if _, err := ReadAuto(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s via ReadAuto: accepted", name)
+		}
+	}
+}
+
+func TestReadBinaryEmptyGraph(t *testing.T) {
+	g2, err := ReadBinary(bytes.NewReader(binBytes(t, New(0))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N != 0 || g2.NumEdges() != 0 {
+		t.Fatalf("n=%d m=%d, want empty", g2.N, g2.NumEdges())
+	}
+}

@@ -38,6 +38,66 @@ func FuzzReadEdgeList(f *testing.F) {
 	})
 }
 
+// FuzzParallelLoaderEquivalence: the parallel loader accepts exactly
+// the inputs the sequential loader accepts (and produces the identical
+// graph), so ReadAuto's fast path can never change what a file means.
+// Inputs ≥ 1 MiB are skipped: the sequential scanner has a 1 MiB line
+// limit the parallel loader intentionally drops.
+func FuzzParallelLoaderEquivalence(f *testing.F) {
+	f.Add([]byte("3 2\n0 1\n1 2\n"), uint8(2))
+	f.Add([]byte("# c\n2 1\n\n0 1"), uint8(5))
+	f.Add([]byte("-5 3\n"), uint8(1))
+	f.Add([]byte("2 1\n0\t1\r\n"), uint8(3))
+	f.Add([]byte("1 0"), uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, workers uint8) {
+		if len(data) >= 1<<20 {
+			t.Skip("line-limit divergence territory")
+		}
+		seq, seqErr := ReadEdgeList(bytes.NewReader(data))
+		par, parErr := ParseEdgeList(data, int(workers%8))
+		if (seqErr == nil) != (parErr == nil) {
+			t.Fatalf("acceptance disagrees: sequential err=%v, parallel err=%v", seqErr, parErr)
+		}
+		if seqErr != nil {
+			return
+		}
+		if par.N != seq.N || len(par.U) != len(seq.U) {
+			t.Fatalf("graphs differ: (%d,%d arcs) vs (%d,%d arcs)", seq.N, len(seq.U), par.N, len(par.U))
+		}
+		for i := range seq.U {
+			if par.U[i] != seq.U[i] || par.V[i] != seq.V[i] {
+				t.Fatalf("arc %d differs: (%d,%d) vs (%d,%d)", i, seq.U[i], seq.V[i], par.U[i], par.V[i])
+			}
+		}
+	})
+}
+
+// FuzzReadBinary: the binary parser must never panic, must only accept
+// graphs that validate, and accepted inputs must round-trip exactly.
+func FuzzReadBinary(f *testing.F) {
+	var seed bytes.Buffer
+	Gnm(20, 60, 1).WriteBinary(&seed)
+	f.Add(seed.Bytes())
+	f.Add([]byte("PCCG"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			t.Fatalf("write failed: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatalf("accepted input is not canonical: %d bytes in, %d bytes out", len(data), buf.Len())
+		}
+	})
+}
+
 // FuzzBFSInvariants: distances satisfy the triangle property along
 // edges on arbitrary small graphs.
 func FuzzBFSInvariants(f *testing.F) {

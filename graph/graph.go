@@ -5,6 +5,13 @@
 // vertices n, the number of edges m, and the maximum component diameter
 // d independently — the three parameters that drive every bound in the
 // paper (O(log d + log log_{m/n} n) time, O(m) processors).
+//
+// It also owns graph I/O: a text edge-list format (WriteEdgeList /
+// ReadEdgeList / ReadEdgeListParallel) and a binary format
+// (WriteBinary / ReadBinary), with ReadAuto detecting which one a file
+// is. ReadEdgeListParallel and ReadBinary are the bulk-ingestion path
+// (experiment E13); ReadEdgeList is the streaming reference parser
+// the parallel loader is fuzz-checked against.
 package graph
 
 import (

@@ -213,6 +213,13 @@ func TestReadEdgeListErrors(t *testing.T) {
 		"3 2\n0 1\n",   // header count mismatch
 		"3 1\n0 1 2\n", // wrong field count
 		"3 1\nx y\n",   // not numbers
+		// Header validation: "-5 3" used to panic in graph.New instead
+		// of returning an error; counts beyond int32 would let edge
+		// endpoints wrap silently.
+		"-5 3\n",
+		"3 -1\n0 1\n",
+		"5000000000 0\n",
+		"0 5000000000\n",
 	}
 	for _, in := range cases {
 		if _, err := ReadEdgeList(bytes.NewBufferString(in)); err == nil {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -24,8 +25,31 @@ func (g *Graph) WriteEdgeList(w io.Writer) error {
 	return bw.Flush()
 }
 
+// validateHeader rejects "n m" headers no graph can satisfy: negative
+// counts (graph.New would panic on a negative n — a malformed file
+// must be an error, not a panic) and counts beyond int32 (vertex ids
+// are stored as int32; a larger n would let endpoints wrap silently).
+func validateHeader(n, m int) error {
+	if n < 0 {
+		return fmt.Errorf("negative vertex count %d in header", n)
+	}
+	if m < 0 {
+		return fmt.Errorf("negative edge count %d in header", m)
+	}
+	if n > math.MaxInt32 {
+		return fmt.Errorf("vertex count %d exceeds int32 range", n)
+	}
+	if m > math.MaxInt32 {
+		return fmt.Errorf("edge count %d exceeds int32 range", m)
+	}
+	return nil
+}
+
 // ReadEdgeList parses the format written by WriteEdgeList. Blank lines
-// and lines starting with '#' are ignored.
+// and lines starting with '#' are ignored. This is the streaming
+// reference loader: one line at a time, bounded memory. For bulk loads
+// prefer ReadEdgeListParallel (same semantics, much faster) or the
+// binary format (ReadBinary); ReadAuto picks the right one.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -51,6 +75,9 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			return nil, fmt.Errorf("graph: line %d: %v", line, err)
 		}
 		if g == nil {
+			if err := validateHeader(a, b); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
 			g = New(a)
 			want = b
 			continue

@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParallelMatchesSequentialAllGenerators(t *testing.T) {
+	for name, g := range generatorZoo() {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := g.WriteEdgeList(&buf); err != nil {
+				t.Fatal(err)
+			}
+			data := buf.Bytes()
+			seq, err := ReadEdgeList(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{0, 1, 2, 3, 7} {
+				par, err := ParseEdgeList(data, workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				sameGraph(t, seq, par)
+			}
+		})
+	}
+}
+
+// TestParallelChunkingCrossesManyBoundaries forces a chunk count far
+// above the line count and odd chunk/line alignments.
+func TestParallelChunkingCrossesManyBoundaries(t *testing.T) {
+	g := Gnm(97, 389, 11)
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for workers := 1; workers <= 64; workers *= 2 {
+		par, err := ParseEdgeList(buf.Bytes(), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		sameGraph(t, g, par)
+	}
+}
+
+func TestParallelAcceptsCommentsAndWhitespace(t *testing.T) {
+	in := "# header comment\n\n  4 3\n0 1\n\t1 2\r\n# mid comment\n  2   3  \n"
+	seq, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ParseEdgeList([]byte(in), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, seq, par)
+	if par.N != 4 || par.NumEdges() != 3 {
+		t.Fatalf("n=%d m=%d", par.N, par.NumEdges())
+	}
+	// No trailing newline on the last edge line.
+	par2, err := ParseEdgeList([]byte("2 1\n0 1"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par2.NumEdges() != 1 {
+		t.Fatalf("m=%d, want 1", par2.NumEdges())
+	}
+}
+
+// TestParallelRejectsWhatSequentialRejects: the malformed-input corpus
+// of TestReadEdgeListErrors plus parser-specific shapes; both loaders
+// must reject every case.
+func TestParallelRejectsWhatSequentialRejects(t *testing.T) {
+	cases := []string{
+		"",
+		"# only comments\n\n",
+		"3 1\n5 0\n",                    // out of range
+		"3 2\n0 1\n",                    // header count mismatch
+		"3 1\n0 1 2\n",                  // wrong field count
+		"3 1\nx y\n",                    // not numbers
+		"-5 3\n",                        // negative n in header
+		"3 -1\n0 1\n",                   // negative m in header
+		"5000000000 0\n",                // n beyond int32
+		"3 99999999999999\n",            // m beyond int32 (and unsatisfiable)
+		"3\n0 1\n",                      // one-field header
+		"3 1\n0\n",                      // one-field edge line
+		"3 1\n0 1x\n",                   // junk inside a field
+		"3 1\n0x 1\n",                   // junk inside the first field
+		"3 1\n-1 0\n",                   // negative endpoint
+		"3 1\n0 99999999999999999999\n", // overflow endpoint
+		"3 1\n0 1\n1 2\n",               // more edges than declared
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("sequential accepted %q", in)
+		}
+		for _, workers := range []int{1, 3} {
+			if _, err := ParseEdgeList([]byte(in), workers); err == nil {
+				t.Errorf("parallel (workers=%d) accepted %q", workers, in)
+			}
+		}
+	}
+}
+
+// TestParallelLyingHeaderNoHugeAllocation: a tiny file whose header
+// declares ~10⁹ edges must fail on the count mismatch without ever
+// allocating header-sized output (the chunk's byte size caps the
+// preallocation). Found by FuzzParallelLoaderEquivalence as a
+// fuzz-worker OOM kill.
+func TestParallelLyingHeaderNoHugeAllocation(t *testing.T) {
+	for _, in := range []string{
+		"-000000 0000000001111110000", // the original fuzz input: n=0, m≈1.1e9
+		"5 2000000000\n0 1\n",
+	} {
+		for _, workers := range []int{1, 4} {
+			if _, err := ParseEdgeList([]byte(in), workers); err == nil {
+				t.Errorf("workers=%d accepted %q", workers, in)
+			}
+		}
+	}
+}
+
+func TestParallelErrorReportsLineNumber(t *testing.T) {
+	in := "# c\n4 2\n0 1\nbogus line\n"
+	_, err := ParseEdgeList([]byte(in), 1)
+	if err == nil {
+		t.Fatal("accepted")
+	}
+	if !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("error %q does not name line 4", err)
+	}
+}
+
+func TestReadEdgeListParallelFromReader(t *testing.T) {
+	g := Gnm(60, 240, 13)
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	par, err := ReadEdgeListParallel(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, g, par)
+}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/graph"
+)
+
+// TestE13File runs the load-throughput experiment over user-supplied
+// files in both formats and checks that the loaders agreed on the
+// graph (the "identical" column).
+func TestE13File(t *testing.T) {
+	g := graph.Gnm(2000, 8000, 7)
+	dir := t.TempDir()
+
+	txtPath := filepath.Join(dir, "g.txt")
+	tf, err := os.Create(txtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteEdgeList(tf); err != nil {
+		t.Fatal(err)
+	}
+	tf.Close()
+
+	binPath := filepath.Join(dir, "g.bin")
+	bf, err := os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteBinary(bf); err != nil {
+		t.Fatal(err)
+	}
+	bf.Close()
+
+	for _, path := range []string{txtPath, binPath} {
+		tbl, err := E13File(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(tbl.Rows) != 1 {
+			t.Fatalf("%s: want 1 row, got %d", path, len(tbl.Rows))
+		}
+		row := tbl.Rows[0]
+		if row[len(row)-1] != "true" {
+			t.Fatalf("%s: loaders disagreed: %v", path, row)
+		}
+		if !strings.Contains(row[0], filepath.Base(path)) {
+			t.Fatalf("%s: workload column %q", path, row[0])
+		}
+	}
+
+	if _, err := E13File(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -114,8 +114,8 @@ func TestRenderTo(t *testing.T) {
 // structural check that ids, headers and rows stay consistent.)
 func TestExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
-		t.Fatalf("want 12 experiments, got %d", len(all))
+	if len(all) != 13 {
+		t.Fatalf("want 13 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for i, e := range all {
@@ -135,7 +135,7 @@ func TestSmallExperimentsRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments skipped in -short")
 	}
-	for _, id := range []string{"E4", "E8", "E9", "E11", "E12"} {
+	for _, id := range []string{"E4", "E8", "E9", "E11", "E12", "E13"} {
 		for _, e := range All() {
 			if e.ID != id {
 				continue

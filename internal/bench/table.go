@@ -1,9 +1,9 @@
 // Package bench is the experiment harness behind cmd/ccbench and
 // bench_test.go. Each experiment E1–E10 reproduces one claim of the
-// paper, and E11–E12 check the repo's own engineering claims (native
-// wall clock, incremental batch updates); the per-experiment index
-// with interpreted results lives in EXPERIMENTS.md, whose tables are
-// rendered by this package.
+// paper, and E11–E13 check the repo's own engineering claims (native
+// wall clock, incremental batch updates, graph load throughput); the
+// per-experiment index with interpreted results lives in
+// EXPERIMENTS.md, whose tables are rendered by this package.
 package bench
 
 import (

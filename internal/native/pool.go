@@ -1,50 +1,14 @@
 package native
 
-import "sync"
+import "repro/internal/pool"
 
-// Pool is a reusable fixed-size worker pool. The workers are spawned
-// once and fed one job per round via per-worker channels, instead of
-// spawning a fresh goroutine set for every parallel step the way the
-// PRAM simulator does. Run broadcasts the job to all workers and
-// blocks until every worker has returned. Besides this package's
-// one-shot engine, internal/incremental keeps a Pool alive across
-// streaming batches.
-type Pool struct {
-	jobs []chan func(worker int)
-	wg   sync.WaitGroup
-}
+// Pool is the reusable fixed-size worker pool this engine runs on. The
+// implementation lives in internal/pool so packages that sit below the
+// engines in the import graph — notably package graph's parallel
+// loader — can share it without a cycle; this alias keeps the engine's
+// historical spelling (native.Pool, used by internal/incremental)
+// working.
+type Pool = pool.Pool
 
 // NewPool spawns a pool of the given worker count (must be > 0).
-func NewPool(workers int) *Pool {
-	p := &Pool{jobs: make([]chan func(worker int), workers)}
-	for i := range p.jobs {
-		ch := make(chan func(worker int))
-		p.jobs[i] = ch
-		go func(worker int, ch chan func(worker int)) {
-			for f := range ch {
-				f(worker)
-				p.wg.Done()
-			}
-		}(i, ch)
-	}
-	return p
-}
-
-// Workers returns the pool's worker count.
-func (p *Pool) Workers() int { return len(p.jobs) }
-
-// Run executes f once on every worker and waits for all of them.
-func (p *Pool) Run(f func(worker int)) {
-	p.wg.Add(len(p.jobs))
-	for _, ch := range p.jobs {
-		ch <- f
-	}
-	p.wg.Wait()
-}
-
-// Close terminates the worker goroutines. The pool must be idle.
-func (p *Pool) Close() {
-	for _, ch := range p.jobs {
-		close(ch)
-	}
-}
+func NewPool(workers int) *Pool { return pool.New(workers) }

@@ -1,0 +1,53 @@
+// Package pool provides the reusable fixed-size worker pool shared by
+// every parallel engine in the module: the native one-shot engine, the
+// incremental streaming engine, and the parallel graph loader. It lives
+// below all of them (and below package graph) so that none of those
+// packages need to import each other for a goroutine pool.
+package pool
+
+import "sync"
+
+// Pool is a reusable fixed-size worker pool. The workers are spawned
+// once and fed one job per round via per-worker channels, instead of
+// spawning a fresh goroutine set for every parallel step the way the
+// PRAM simulator does. Run broadcasts the job to all workers and
+// blocks until every worker has returned.
+type Pool struct {
+	jobs []chan func(worker int)
+	wg   sync.WaitGroup
+}
+
+// New spawns a pool of the given worker count (must be > 0).
+func New(workers int) *Pool {
+	p := &Pool{jobs: make([]chan func(worker int), workers)}
+	for i := range p.jobs {
+		ch := make(chan func(worker int))
+		p.jobs[i] = ch
+		go func(worker int, ch chan func(worker int)) {
+			for f := range ch {
+				f(worker)
+				p.wg.Done()
+			}
+		}(i, ch)
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return len(p.jobs) }
+
+// Run executes f once on every worker and waits for all of them.
+func (p *Pool) Run(f func(worker int)) {
+	p.wg.Add(len(p.jobs))
+	for _, ch := range p.jobs {
+		ch <- f
+	}
+	p.wg.Wait()
+}
+
+// Close terminates the worker goroutines. The pool must be idle.
+func (p *Pool) Close() {
+	for _, ch := range p.jobs {
+		close(ch)
+	}
+}

@@ -25,7 +25,7 @@ type Stats struct {
 	// ---- real quantities (all backends) ----
 
 	Backend Backend       // engine that produced the result
-	Wall    time.Duration // measured wall-clock duration of the run
+	Wall    time.Duration // wall clock of the run itself — result assembly (label counting) is excluded
 	Workers int           // host goroutine count that executed the run
 	Rounds  int           // main-loop rounds: EXPAND-MAXLINK rounds or phases (simulated), link+shortcut rounds (native)
 
@@ -73,12 +73,49 @@ func validate(g *graph.Graph) error {
 	return g.Validate()
 }
 
+// countLabels returns the number of distinct labels. Every backend
+// labels a component by one of its vertices, so labels live in
+// [0, len(labels)) and one indexed pass over a flat seen-array counts
+// them in O(n) — the map that used to live here cost more than a whole
+// native run on large graphs. The map fallback only exists so a future
+// backend with out-of-range labels degrades instead of panicking.
 func countLabels(labels []int32) int {
+	n := len(labels)
+	seen := make([]bool, n)
+	count := 0
+	for _, l := range labels {
+		if uint(l) >= uint(n) {
+			return countLabelsGeneric(labels)
+		}
+		if !seen[l] {
+			seen[l] = true
+			count++
+		}
+	}
+	return count
+}
+
+func countLabelsGeneric(labels []int32) int {
 	seen := make(map[int32]struct{})
 	for _, l := range labels {
 		seen[l] = struct{}{}
 	}
 	return len(seen)
+}
+
+// newResult assembles a Result from a labeling and the caller-measured
+// wall time. Stats.Wall must be fixed by the caller before the O(n)
+// component count runs: a struct literal that evaluates
+// countLabels(...) before time.Since(start) silently charges the
+// counting pass to the run itself, which is exactly the cross-backend
+// wall-clock pollution E11/E12 existed to rule out.
+func newResult(wall time.Duration, labels []int32, stats Stats) *Result {
+	stats.Wall = wall
+	return &Result{
+		Labels:        labels,
+		NumComponents: countLabels(labels),
+		Stats:         stats,
+	}
 }
 
 func apply(opts []Option) config {
@@ -106,16 +143,12 @@ func Components(g *graph.Graph, opts ...Option) (*Result, error) {
 		}
 		start := time.Now()
 		res := native.Components(g, native.Options{Workers: c.workers})
-		return &Result{
-			Labels:        res.Labels,
-			NumComponents: countLabels(res.Labels),
-			Stats: Stats{
-				Backend: BackendNative,
-				Wall:    time.Since(start),
-				Workers: res.Workers,
-				Rounds:  res.Rounds,
-			},
-		}, nil
+		wall := time.Since(start)
+		return newResult(wall, res.Labels, Stats{
+			Backend: BackendNative,
+			Workers: res.Workers,
+			Rounds:  res.Rounds,
+		}), nil
 	case BackendIncremental:
 		if err := validate(g); err != nil {
 			return nil, err
@@ -124,16 +157,12 @@ func Components(g *graph.Graph, opts ...Option) (*Result, error) {
 		eng := incremental.New(g.N, incremental.Options{Workers: c.workers})
 		defer eng.Close()
 		snap := eng.AddGraph(g)
-		return &Result{
-			Labels:        snap.Labels,
-			NumComponents: snap.Components,
-			Stats: Stats{
-				Backend: BackendIncremental,
-				Wall:    time.Since(start),
-				Workers: eng.Workers(),
-				Rounds:  snap.Batches, // one batch for a one-shot run
-			},
-		}, nil
+		wall := time.Since(start)
+		return newResult(wall, snap.Labels, Stats{
+			Backend: BackendIncremental,
+			Workers: eng.Workers(),
+			Rounds:  snap.Batches, // one batch for a one-shot run
+		}), nil
 	default:
 		return ConnectedComponents(g, opts...)
 	}
@@ -167,26 +196,21 @@ func ConnectedComponents(g *graph.Graph, opts ...Option) (*Result, error) {
 	p.DisableBoost = c.disableBoost
 	start := time.Now()
 	res := core.Run(m, g, p)
-	out := &Result{
-		Labels:        res.Labels,
-		NumComponents: countLabels(res.Labels),
-		Stats: Stats{
-			Backend:       BackendSimulated,
-			Wall:          time.Since(start),
-			Workers:       m.Workers(),
-			Rounds:        res.Rounds,
-			PRAMSteps:     res.Stats.Steps,
-			Work:          res.Stats.Work,
-			MaxProcessors: res.Stats.MaxProcs,
-			PeakSpace:     res.Stats.MaxSpace,
-			MaxLevel:      int(res.MaxLevel),
-			CumBlockWords: res.CumBlockWords,
-			Prep:          res.Prep,
-			PostPhases:    res.PostPhases,
-			Failed:        res.Failed,
-		},
-	}
-	return out, nil
+	wall := time.Since(start)
+	return newResult(wall, res.Labels, Stats{
+		Backend:       BackendSimulated,
+		Workers:       m.Workers(),
+		Rounds:        res.Rounds,
+		PRAMSteps:     res.Stats.Steps,
+		Work:          res.Stats.Work,
+		MaxProcessors: res.Stats.MaxProcs,
+		PeakSpace:     res.Stats.MaxSpace,
+		MaxLevel:      int(res.MaxLevel),
+		CumBlockWords: res.CumBlockWords,
+		Prep:          res.Prep,
+		PostPhases:    res.PostPhases,
+		Failed:        res.Failed,
+	}), nil
 }
 
 // ConnectedComponentsLogLog computes connected components with the
@@ -208,22 +232,18 @@ func ConnectedComponentsLogLog(g *graph.Graph, opts ...Option) (*Result, error) 
 	}
 	start := time.Now()
 	res := ccbase.Run(m, g, p)
-	out := &Result{
-		Labels:        res.Labels,
-		NumComponents: countLabels(res.Labels),
-		Stats: Stats{
-			Backend:       BackendSimulated,
-			Wall:          time.Since(start),
-			Workers:       m.Workers(),
-			Rounds:        res.Phases,
-			PRAMSteps:     res.Stats.Steps,
-			Work:          res.Stats.Work,
-			MaxProcessors: res.Stats.MaxProcs,
-			PeakSpace:     res.Stats.MaxSpace,
-			Prep:          res.Prep,
-			Failed:        res.Failed,
-		},
-	}
+	wall := time.Since(start)
+	out := newResult(wall, res.Labels, Stats{
+		Backend:       BackendSimulated,
+		Workers:       m.Workers(),
+		Rounds:        res.Phases,
+		PRAMSteps:     res.Stats.Steps,
+		Work:          res.Stats.Work,
+		MaxProcessors: res.Stats.MaxProcs,
+		PeakSpace:     res.Stats.MaxSpace,
+		Prep:          res.Prep,
+		Failed:        res.Failed,
+	})
 	if res.Failed {
 		return out, fmt.Errorf("pramcc: phase cap exhausted after %d phases (bad-probability event; rerun with another seed or WithMaxPhases)", res.Phases)
 	}
@@ -250,27 +270,23 @@ func SpanningForest(g *graph.Graph, opts ...Option) (*ForestResult, error) {
 	}
 	start := time.Now()
 	res := spanning.Run(m, g, p)
+	wall := time.Since(start)
 	edges := make([][2]int, 0, len(res.ForestEdges))
 	for _, idx := range res.ForestEdges {
 		edges = append(edges, [2]int{int(g.U[2*idx]), int(g.V[2*idx])})
 	}
 	out := &ForestResult{
-		Result: Result{
-			Labels:        res.Labels,
-			NumComponents: countLabels(res.Labels),
-			Stats: Stats{
-				Backend:       BackendSimulated,
-				Wall:          time.Since(start),
-				Workers:       m.Workers(),
-				Rounds:        res.Phases,
-				PRAMSteps:     res.Stats.Steps,
-				Work:          res.Stats.Work,
-				MaxProcessors: res.Stats.MaxProcs,
-				PeakSpace:     res.Stats.MaxSpace,
-				Prep:          res.Prep,
-				Failed:        res.Failed,
-			},
-		},
+		Result: *newResult(wall, res.Labels, Stats{
+			Backend:       BackendSimulated,
+			Workers:       m.Workers(),
+			Rounds:        res.Phases,
+			PRAMSteps:     res.Stats.Steps,
+			Work:          res.Stats.Work,
+			MaxProcessors: res.Stats.MaxProcs,
+			PeakSpace:     res.Stats.MaxSpace,
+			Prep:          res.Prep,
+			Failed:        res.Failed,
+		}),
 		EdgeIndices: res.ForestEdges,
 		Edges:       edges,
 	}
@@ -291,19 +307,14 @@ func VanillaComponents(g *graph.Graph, opts ...Option) (*Result, error) {
 	m := pram.New(c.workers)
 	start := time.Now()
 	res := vanilla.Run(m, g, c.seed, c.maxPhases)
-	out := &Result{
-		Labels:        res.Labels,
-		NumComponents: countLabels(res.Labels),
-		Stats: Stats{
-			Backend:       BackendSimulated,
-			Wall:          time.Since(start),
-			Workers:       m.Workers(),
-			Rounds:        res.Phases,
-			PRAMSteps:     res.Stats.Steps,
-			Work:          res.Stats.Work,
-			MaxProcessors: res.Stats.MaxProcs,
-			PeakSpace:     res.Stats.MaxSpace,
-		},
-	}
-	return out, nil
+	wall := time.Since(start)
+	return newResult(wall, res.Labels, Stats{
+		Backend:       BackendSimulated,
+		Workers:       m.Workers(),
+		Rounds:        res.Phases,
+		PRAMSteps:     res.Stats.Steps,
+		Work:          res.Stats.Work,
+		MaxProcessors: res.Stats.MaxProcs,
+		PeakSpace:     res.Stats.MaxSpace,
+	}), nil
 }

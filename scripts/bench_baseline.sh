@@ -8,21 +8,22 @@
 #
 # The baseline (internal/bench/testdata/baseline.txt) is updated
 # intentionally — never by CI — so benchstat diffs against it show the
-# cumulative drift of BackendSimulated vs BackendNative since the last
-# deliberate refresh. Comparison uses benchstat when installed
+# cumulative drift of the backends (BackendSimulated vs BackendNative
+# vs BackendIncremental) and of the graph loaders (sequential text vs
+# parallel text vs binary) since the last deliberate refresh. Comparison uses benchstat when installed
 # (go install golang.org/x/perf/cmd/benchstat@latest) and falls back to
 # printing both result sets side by side when not.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
-BENCH="${BENCH:-BenchmarkComponentsBackends|BenchmarkNative|BenchmarkIncremental}"
+BENCH="${BENCH:-BenchmarkComponentsBackends|BenchmarkNative|BenchmarkIncremental|BenchmarkLoad|BenchmarkWriteBinary}"
 BASELINE=internal/bench/testdata/baseline.txt
 CURRENT="$(mktemp /tmp/bench_current.XXXXXX.txt)"
 trap 'rm -f "$CURRENT"' EXIT
 
-echo ">> go test -run '^$' -bench '$BENCH' -count $COUNT (., ./internal/native, ./internal/incremental)"
-go test -run '^$' -bench "$BENCH" -count "$COUNT" . ./internal/native ./internal/incremental | tee "$CURRENT"
+echo ">> go test -run '^$' -bench '$BENCH' -count $COUNT (., ./internal/native, ./internal/incremental, ./graph)"
+go test -run '^$' -bench "$BENCH" -count "$COUNT" . ./internal/native ./internal/incremental ./graph | tee "$CURRENT"
 
 if [ "${1:-}" = "update" ]; then
     mkdir -p "$(dirname "$BASELINE")"
