@@ -1,6 +1,8 @@
 package pramcc
 
 import (
+	"encoding/json"
+	"strings"
 	"testing"
 
 	"repro/graph"
@@ -167,18 +169,60 @@ func TestParseBackend(t *testing.T) {
 		in   string
 		want Backend
 	}{{"simulated", BackendSimulated}, {"sim", BackendSimulated}, {"", BackendSimulated},
-		{"native", BackendNative}, {"incremental", BackendIncremental}, {"inc", BackendIncremental}} {
+		{"native", BackendNative}, {"incremental", BackendIncremental}, {"inc", BackendIncremental},
+		// Case-insensitive, whitespace-tolerant (ISSUE-4 satellite).
+		{"Native", BackendNative}, {"SIM", BackendSimulated}, {"  InCremental ", BackendIncremental}} {
 		got, err := ParseBackend(tc.in)
 		if err != nil || got != tc.want {
 			t.Fatalf("ParseBackend(%q) = %v, %v", tc.in, got, err)
 		}
 	}
-	if _, err := ParseBackend("gpu"); err == nil {
+	err := func() error { _, err := ParseBackend("gpu"); return err }()
+	if err == nil {
 		t.Fatal("ParseBackend accepted nonsense")
+	}
+	// The registry-driven error names what is actually registered.
+	for _, name := range BackendNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("ParseBackend error %q does not list backend %q", err, name)
+		}
 	}
 	if BackendNative.String() != "native" || BackendSimulated.String() != "simulated" ||
 		BackendIncremental.String() != "incremental" {
 		t.Fatal("Backend.String mismatch")
+	}
+}
+
+// TestBackendTextMarshal: Backend round-trips through the
+// encoding.TextMarshaler/TextUnmarshaler pair, which is what makes it
+// usable with flag.TextVar and in JSON bench output.
+func TestBackendTextMarshal(t *testing.T) {
+	if len(Backends()) != len(BackendNames()) || len(Backends()) == 0 {
+		t.Fatalf("registry enumeration inconsistent: %v vs %v", Backends(), BackendNames())
+	}
+	for i, bk := range Backends() {
+		text, err := bk.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(text) != BackendNames()[i] || string(text) != bk.String() {
+			t.Fatalf("MarshalText(%v) = %q, want %q", bk, text, BackendNames()[i])
+		}
+		var back Backend
+		if err := back.UnmarshalText(text); err != nil || back != bk {
+			t.Fatalf("UnmarshalText(%q) = %v, %v", text, back, err)
+		}
+		var js Backend
+		if err := json.Unmarshal([]byte(`"`+strings.ToUpper(string(text))+`"`), &js); err != nil || js != bk {
+			t.Fatalf("json round-trip of %q: %v, %v", text, js, err)
+		}
+	}
+	if _, err := Backend(42).MarshalText(); err == nil {
+		t.Fatal("MarshalText accepted an unregistered backend")
+	}
+	var b Backend
+	if err := b.UnmarshalText([]byte("quantum")); err == nil {
+		t.Fatal("UnmarshalText accepted nonsense")
 	}
 }
 

@@ -1,8 +1,12 @@
-package pramcc
+package pramcc_test
 
 // Benchmark entry points. One Benchmark per experiment E1–E12 (the
 // per-experiment index is EXPERIMENTS.md; cmd/ccbench prints the same
 // tables standalone), plus wall-clock benchmarks of the public API.
+//
+// This file lives in the external test package so that internal/bench
+// (which imports the root package to enumerate the backend registry)
+// can be imported here without a cycle.
 //
 // The experiment benches report model metrics (rounds, space ratios)
 // via b.ReportMetric in addition to wall-clock time; run with
@@ -12,9 +16,11 @@ package pramcc
 // and see EXPERIMENTS.md for the interpreted results.
 
 import (
+	"context"
 	"io"
 	"testing"
 
+	pramcc "repro"
 	"repro/graph"
 	"repro/internal/baseline"
 	"repro/internal/bench"
@@ -74,14 +80,50 @@ func benchGraph() *graph.Graph {
 // BenchmarkComponentsBackends is the benchstat anchor compared by
 // scripts/bench_baseline.sh against the intentional baseline in
 // internal/bench/testdata/baseline.txt: the same workload through the
-// Components entry point on both backends.
+// Components entry point on every registered backend. Since the
+// Solver redesign, Components reuses a process-shared engine per
+// (backend, workers) pair, so this measures the steady-state serving
+// cost, not per-call engine construction.
 func BenchmarkComponentsBackends(b *testing.B) {
 	g := benchGraph()
-	for _, bk := range []Backend{BackendSimulated, BackendNative, BackendIncremental} {
+	for _, bk := range pramcc.Backends() {
 		b.Run(bk.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := Components(g, WithSeed(1), WithBackend(bk)); err != nil {
+				if _, err := pramcc.Components(g, pramcc.WithSeed(1), pramcc.WithBackend(bk)); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolverReuse is the steady-state of the long-lived API:
+// one Solver per backend, the same workload solved repeatedly. The
+// acceptance bar (enforced by TestSolverSolveZeroAllocNative) is zero
+// allocations per op on the native backend — labels, scratch, worker
+// pool, and the Result itself are all reused.
+func BenchmarkSolverReuse(b *testing.B) {
+	g := benchGraph()
+	ctx := context.Background()
+	for _, bk := range pramcc.Backends() {
+		b.Run(bk.String(), func(b *testing.B) {
+			s, err := pramcc.NewSolver(pramcc.WithBackend(bk), pramcc.WithSeed(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			if _, err := s.Solve(ctx, g); err != nil { // warm the buffers
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := s.Solve(ctx, g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.NumComponents == 0 {
+					b.Fatal("no components")
 				}
 			}
 		})
@@ -97,7 +139,7 @@ func BenchmarkIncrementalBatches(b *testing.B) {
 	batches := g.EdgeBatches(16)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		inc, err := NewIncremental(g.N)
+		inc, err := pramcc.NewIncremental(g.N)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -118,7 +160,7 @@ func BenchmarkConnectedComponentsFast(b *testing.B) {
 	b.ResetTimer()
 	var rounds int
 	for i := 0; i < b.N; i++ {
-		res, err := ConnectedComponents(g, WithSeed(uint64(i+1)))
+		res, err := pramcc.ConnectedComponents(g, pramcc.WithSeed(uint64(i+1)))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -131,7 +173,7 @@ func BenchmarkConnectedComponentsLogLog(b *testing.B) {
 	g := benchGraph()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ConnectedComponentsLogLog(g, WithSeed(uint64(i+1))); err != nil {
+		if _, err := pramcc.ConnectedComponentsLogLog(g, pramcc.WithSeed(uint64(i+1))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -141,7 +183,7 @@ func BenchmarkVanillaComponents(b *testing.B) {
 	g := benchGraph()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := VanillaComponents(g, WithSeed(uint64(i+1))); err != nil {
+		if _, err := pramcc.VanillaComponents(g, pramcc.WithSeed(uint64(i+1))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -151,7 +193,7 @@ func BenchmarkSpanningForest(b *testing.B) {
 	g := graph.Gnm(50000, 200000, 42)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := SpanningForest(g, WithSeed(uint64(i+1))); err != nil {
+		if _, err := pramcc.SpanningForest(g, pramcc.WithSeed(uint64(i+1))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -193,7 +235,7 @@ func BenchmarkWorkersScaling(b *testing.B) {
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(workersName(w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := ConnectedComponents(g, WithSeed(3), WithWorkers(w)); err != nil {
+				if _, err := pramcc.ConnectedComponents(g, pramcc.WithSeed(3), pramcc.WithWorkers(w)); err != nil {
 					b.Fatal(err)
 				}
 			}

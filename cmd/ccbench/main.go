@@ -1,9 +1,12 @@
 // Command ccbench runs the reproduction experiments E1–E13 and prints
 // their tables. The output of `ccbench -scale full` is the source of
-// EXPERIMENTS.md. E11 compares the simulated and native execution
-// backends on wall clock, E12 the incremental streaming backend
-// against recompute-per-batch, E13 the three graph loaders (sequential
-// text, parallel text, binary) on load throughput;
+// EXPERIMENTS.md. E11 compares every execution backend on wall clock —
+// its backend columns are enumerated from the pramcc backend registry
+// at run time, so a newly registered backend appears in the table (and
+// the JSON artifact) without any ccbench change — E12 pits the
+// incremental streaming backend against recompute-per-batch, E13 the
+// three graph loaders (sequential text, parallel text, binary) on load
+// throughput;
 //
 //	ccbench -experiment E11,E12,E13 -format json > BENCH_$(date +%Y%m%d).json
 //

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	pramcc "repro"
 	"repro/graph"
@@ -14,9 +15,16 @@ import (
 // main for testing.
 func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("ccfind", flag.ContinueOnError)
-	algo := fs.String("algo", "fast", "fast (Thm 3), loglog (Thm 1), or vanilla")
+	algo := fs.String("algo", "fast", "simulated algorithm: fast (Thm 3), loglog (Thm 1), or vanilla")
+	// The backend list in the usage string is enumerated from the
+	// pramcc registry, not hard-coded: a newly registered backend is
+	// selectable here with no CLI change.
+	var backend pramcc.Backend
+	fs.TextVar(&backend, "backend", pramcc.BackendSimulated,
+		"execution backend for the one-shot run: "+strings.Join(pramcc.BackendNames(), ", ")+
+			" (the non-simulated engines are seedless and not -algo selectable)")
 	forest := fs.Bool("forest", false, "also compute a spanning forest (Thm 2)")
-	batches := fs.Int("batches", 0, "replay the edges in K batches through the streaming incremental backend, reporting per-batch latency (0 = one-shot -algo run)")
+	batches := fs.Int("batches", 0, "replay the edges in K batches through the streaming incremental backend, reporting per-batch latency (0 = one-shot run)")
 	workers := fs.Int("workers", 0, "worker goroutines for the run — one-shot and -batches alike (0 = GOMAXPROCS)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	verbose := fs.Bool("v", false, "print per-vertex labels")
@@ -49,14 +57,49 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		// ignore rather than run a different engine than asked for.
 		var conflict error
 		fs.Visit(func(f *flag.Flag) {
-			if f.Name == "algo" || f.Name == "seed" {
+			switch f.Name {
+			case "algo", "seed":
 				conflict = fmt.Errorf("-%s is not supported with -batches (the streaming incremental backend is seedless and not algorithm-selectable)", f.Name)
+			case "backend":
+				if backend != pramcc.BackendIncremental {
+					conflict = fmt.Errorf("-batches always runs the incremental backend; -backend %v conflicts", backend)
+				}
 			}
 		})
 		if conflict != nil {
 			return conflict
 		}
 		return runBatches(g, *batches, *workers, *verbose, out)
+	}
+
+	if backend != pramcc.BackendSimulated {
+		// Engine path: the non-simulated backends are seedless and run
+		// exactly one algorithm, so reject explicitly-set flags they
+		// would silently ignore.
+		var conflict error
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "algo", "seed":
+				conflict = fmt.Errorf("-%s is not supported with -backend %v (that engine is seedless and not algorithm-selectable)", f.Name, backend)
+			case "forest":
+				conflict = fmt.Errorf("-forest is not supported with -backend %v (the spanning forest algorithm is simulator-only)", backend)
+			}
+		})
+		if conflict != nil {
+			return conflict
+		}
+		res, err := pramcc.Components(g, pramcc.WithBackend(backend), pramcc.WithWorkers(*workers))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "n=%d m=%d components=%d rounds=%d workers=%d backend=%v wall=%v\n",
+			g.N, g.NumEdges(), res.NumComponents, res.Stats.Rounds, res.Stats.Workers, res.Stats.Backend, res.Stats.Wall)
+		if *verbose {
+			for v, l := range res.Labels {
+				fmt.Fprintf(out, "%d %d\n", v, l)
+			}
+		}
+		return nil
 	}
 
 	// -workers used to be consulted only by -batches; the one-shot

@@ -179,3 +179,50 @@ func TestRunBatchesCappedDenominator(t *testing.T) {
 		t.Fatalf("denominator not capped to actual batch count:\n%s", s)
 	}
 }
+
+// TestRunBackendFlag: -backend is a flag.TextVar over the pramcc
+// registry — case-insensitive names and aliases select the engine,
+// conflicting simulator-only flags are rejected, and unknown names
+// fail parsing with the registered list.
+func TestRunBackendFlag(t *testing.T) {
+	g := graph.DisjointUnion(graph.Path(10), graph.Clique(5))
+	in := edgeListString(t, g)
+	for _, bk := range []string{"native", "NATIVE", "incremental", "inc", "simulated"} {
+		var out bytes.Buffer
+		if err := run([]string{"-backend", bk}, strings.NewReader(in), &out); err != nil {
+			t.Fatalf("%s: %v", bk, err)
+		}
+		if !strings.Contains(out.String(), "components=2") {
+			t.Fatalf("%s output: %s", bk, out.String())
+		}
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-backend", "native", "-v"}, strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "backend=native") {
+		t.Fatalf("summary line missing backend: %s", out.String())
+	}
+	if len(strings.Split(strings.TrimSpace(out.String()), "\n")) != 1+g.N {
+		t.Fatalf("-v label lines missing:\n%s", out.String())
+	}
+	for _, args := range [][]string{
+		{"-backend", "native", "-algo", "vanilla"},
+		{"-backend", "native", "-seed", "3"},
+		{"-backend", "inc", "-forest"},
+		{"-backend", "gpu"},
+		{"-batches", "2", "-backend", "native"},
+	} {
+		if err := run(args, strings.NewReader("3 2\n0 1\n1 2\n"), &bytes.Buffer{}); err == nil {
+			t.Fatalf("%v accepted", args)
+		}
+	}
+	// Explicitly naming the backend -batches implies is not a conflict.
+	out.Reset()
+	if err := run([]string{"-batches", "2", "-backend", "incremental"}, strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "backend=incremental") {
+		t.Fatalf("batches output: %s", out.String())
+	}
+}

@@ -16,10 +16,45 @@
 // work, peak processors, peak space) so the paper's bounds can be
 // checked empirically; see EXPERIMENTS.md and cmd/ccbench.
 //
+// # One-shot vs. long-lived
+//
+// Every entry point comes in two shapes. The free functions
+// (Components, ConnectedComponents, …) are one-shot: validate, solve,
+// return an independently owned Result — the right call for scripts
+// and tests. Production callers serving many solves should hold a
+// Solver instead: a long-lived handle that owns the execution engine —
+// the worker pool and the pre-sized scratch/label buffers — so
+// repeated Solve(ctx, g) calls amortize all allocation (zero
+// steady-state allocations on the native backend), honour
+// context.Context cancellation and deadlines at every round or batch
+// boundary, and fail fast on already-cancelled contexts. On top of the
+// Solver sits Service, the serving layer: it publishes each completed
+// labeling as an immutable snapshot through an atomic pointer, so
+// SameComponent/Labels/NumComponents queries are answered lock-free
+// and concurrently while Update (full recompute) or Ingest (streaming
+// batches, incremental backend) replaces the snapshot — a cancelled or
+// failed update publishes nothing and queries keep serving the
+// previous labeling. The free functions themselves are thin wrappers
+// over process-shared Solvers keyed by (backend, workers), so even
+// legacy call sites stopped paying per-call engine construction.
+//
+// Migration is mechanical:
+//
+//	Components(g, opts...)          →  solver.Solve(ctx, g)       (solver := NewSolver(opts...))
+//	ConnectedComponents(g, opts...) →  solver.Solve(ctx, g)       (simulated backend, the default)
+//	SpanningForest(g, opts...)      →  solver.SpanningForest(ctx, g)
+//	Components per query cycle      →  service.Update(ctx, g) + service.SameComponent(v, w)
+//	Incremental + AddEdges          →  service.Ingest(ctx, batch) (NewService(n, WithBackend(BackendIncremental)))
+//
 // # Three execution backends
 //
 // The package has three interchangeable execution backends behind the
-// Components entry point. BackendSimulated (the default) is the
+// Components entry point, each an implementation of the internal
+// engine interface in the backend registry; Backends and BackendNames
+// enumerate the registry, ParseBackend resolves names and aliases
+// case-insensitively against it, and Backend implements
+// encoding.TextMarshaler/TextUnmarshaler so it drops straight into
+// flag.TextVar and JSON output. BackendSimulated (the default) is the
 // step-synchronous ARBITRARY CRCW PRAM simulator the four
 // algorithm-specific entry points above always use: every model step
 // is a barrier and every model cost is accounted, which is the point —

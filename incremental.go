@@ -2,6 +2,7 @@ package pramcc
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/incremental"
@@ -14,12 +15,16 @@ import (
 // union-find of internal/incremental, the engine behind
 // BackendIncremental.
 //
-// Concurrency contract: AddEdges is single-writer — call it from one
-// goroutine at a time. The query methods (SameComponent,
-// ComponentCount, Labels, BatchCount, EdgeCount) are safe to call
-// concurrently with an in-flight AddEdges and observe the snapshot of
-// the last completed batch, never a half-ingested one.
+// Concurrency contract: writers (AddEdges, Close) serialize on an
+// internal mutex, so calling them from multiple goroutines is safe —
+// batches are simply applied one at a time, and Close is idempotent
+// even when racing AddEdges. The query methods (SameComponent,
+// ComponentCount, Labels, BatchCount, EdgeCount) never take the lock:
+// they are safe to call concurrently with an in-flight AddEdges and
+// observe the snapshot of the last completed batch, never a
+// half-ingested one.
 type Incremental struct {
+	mu     sync.Mutex // guards eng writer ops + closed
 	eng    *incremental.Engine
 	closed bool
 }
@@ -49,6 +54,8 @@ func NewIncremental(n int, opts ...Option) (*Incremental, error) {
 // batch's statistics. Endpoints out of [0, N) are rejected before any
 // edge of the batch is applied.
 func (inc *Incremental) AddEdges(edges [][2]int) (BatchStats, error) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
 	if inc.closed {
 		return BatchStats{}, fmt.Errorf("pramcc: AddEdges on closed Incremental")
 	}
@@ -113,8 +120,13 @@ func (inc *Incremental) Result() *Result {
 }
 
 // Close releases the engine's worker pool. Queries remain valid on the
-// last snapshot; further AddEdges calls return an error.
+// last snapshot; further AddEdges calls return an error. Close is
+// idempotent and goroutine-safe: it may race other Close or AddEdges
+// calls freely (an in-flight batch completes before the pool is torn
+// down).
 func (inc *Incremental) Close() {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
 	if !inc.closed {
 		inc.closed = true
 		inc.eng.Close()

@@ -2,6 +2,7 @@ package pramcc
 
 import (
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -155,5 +156,61 @@ func TestIncrementalConcurrentQueries(t *testing.T) {
 	wg.Wait()
 	if err := check.SamePartition(inc.Labels(), baseline.Components(g)); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestIncrementalCloseRace is the ISSUE-4 regression for the
+// unsynchronized `closed bool`: Close racing AddEdges (and other
+// Close calls) was a data race. Both are now serialized on the
+// handle's mutex — this test must stay clean under -race, every
+// AddEdges must either apply fully or report the closed error, and
+// queries must survive throughout.
+func TestIncrementalCloseRace(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		g := graph.Gnm(2000, 8000, int64(trial))
+		inc, err := NewIncremental(g.N, WithWorkers(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches := g.EdgeBatches(16)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		wg.Add(3)
+		go func() { // writer
+			defer wg.Done()
+			<-start
+			for _, b := range batches {
+				if _, err := inc.AddEdges(b); err != nil {
+					if inc.SameComponent(0, 0) != true {
+						t.Error("queries broken after closed-handle error")
+					}
+					return // closed underneath us: the documented outcome
+				}
+			}
+		}()
+		go func() { // closer, racing the writer
+			defer wg.Done()
+			<-start
+			if trial%2 == 0 {
+				runtime.Gosched()
+			}
+			inc.Close()
+		}()
+		go func() { // second closer: Close must be idempotent under race
+			defer wg.Done()
+			<-start
+			inc.Close()
+		}()
+		close(start)
+		wg.Wait()
+		// Whatever the interleaving, the handle is closed now and the
+		// snapshot is a consistent batch boundary.
+		if _, err := inc.AddEdges([][2]int{{0, 1}}); err == nil {
+			t.Fatal("AddEdges succeeded after Close")
+		}
+		n := inc.ComponentCount()
+		if n < 1 || n > g.N {
+			t.Fatalf("inconsistent component count %d", n)
+		}
 	}
 }

@@ -19,6 +19,7 @@
 package ccbase
 
 import (
+	"context"
 	"math"
 
 	"repro/graph"
@@ -43,6 +44,11 @@ const (
 type Params struct {
 	Mode Mode
 	Seed uint64
+
+	// Ctx, when non-nil, is checked at every phase boundary (and
+	// between PREPARE phases): on cancellation the run stops promptly,
+	// Result.CtxErr records ctx.Err(), and Result.Labels is nil.
+	Ctx context.Context
 
 	// BExp is the exponent in b = δ^BExp (paper: 1/18, scaled default 1/4).
 	BExp float64
@@ -97,6 +103,9 @@ type Result struct {
 	Prep   int // Vanilla phases run by PREPARE
 	Trace  []PhaseTrace
 	Failed bool // MaxPhases exhausted with non-loop edges left
+	// CtxErr is ctx.Err() when Params.Ctx was cancelled mid-run; Labels
+	// is nil in that case.
+	CtxErr error
 	Stats  pram.Stats
 }
 
@@ -105,8 +114,15 @@ func Run(m *pram.Machine, g *graph.Graph, p Params) Result {
 	if p.BExp == 0 {
 		p = fillDefaults(p)
 	}
+	ctx := p.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := g.N
 	mEdges := maxInt(g.NumEdges(), 1)
+	if err := ctx.Err(); err != nil {
+		return Result{CtxErr: err}
+	}
 
 	st := vanilla.NewState(g, p.Seed)
 
@@ -118,6 +134,9 @@ func Run(m *pram.Machine, g *graph.Graph, p Params) Result {
 			phases = 2*ceilLog2(ceilLog2(n)+1) + 2
 		}
 		for i := 0; i < phases; i++ {
+			if err := ctx.Err(); err != nil {
+				return Result{CtxErr: err, Prep: prep, Stats: m.Stats()}
+			}
 			prep++
 			if !st.RunPhase(m) {
 				break
@@ -149,6 +168,11 @@ func Run(m *pram.Machine, g *graph.Graph, p Params) Result {
 	leader := make([]int32, n)
 
 	for phase := 0; ; phase++ {
+		if err := ctx.Err(); err != nil {
+			res.CtxErr = err
+			res.Stats = m.Stats()
+			return res
+		}
 		// Identify ongoing vertices: roots with an incident non-loop
 		// edge (Lemma B.2; trees are flat at phase start).
 		st.Arcs.MarkIncident(m, incident)
@@ -300,6 +324,7 @@ func Run(m *pram.Machine, g *graph.Graph, p Params) Result {
 func fillDefaults(p Params) Params {
 	d := DefaultParams(p.Seed)
 	d.Mode = p.Mode
+	d.Ctx = p.Ctx
 	if p.MaxPhases > 0 {
 		d.MaxPhases = p.MaxPhases
 	}

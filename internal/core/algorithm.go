@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -45,8 +46,16 @@ type state struct {
 // Run executes Faster Connected Components algorithm on g.
 func Run(m *pram.Machine, g *graph.Graph, p Params) Result {
 	p = p.filled()
+	ctx := p.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := g.N
 	res := Result{}
+	if err := ctx.Err(); err != nil {
+		res.CtxErr = err
+		return res
+	}
 
 	// ---- COMPACT (§D): PREPARE + approximate compaction renaming ----
 	vst := vanilla.NewState(g, p.Seed)
@@ -62,6 +71,11 @@ func Run(m *pram.Machine, g *graph.Graph, p Params) Result {
 			phases = 2*ceilLog2(ceilLog2(n)+1) + 2
 		}
 		for i := 0; i < phases; i++ {
+			if err := ctx.Err(); err != nil {
+				res.CtxErr = err
+				res.Stats = m.Stats()
+				return res
+			}
 			res.Prep++
 			if !vst.RunPhase(m) {
 				break
@@ -144,6 +158,11 @@ func Run(m *pram.Machine, g *graph.Graph, p Params) Result {
 		maxRounds = 8*ceilLog2(n) + 96
 	}
 	for round := 1; nOngoing > 0; round++ {
+		if err := ctx.Err(); err != nil {
+			res.CtxErr = err
+			res.Stats = m.Stats()
+			return res
+		}
 		if round > maxRounds {
 			res.Failed = true
 			break
@@ -177,7 +196,13 @@ func Run(m *pram.Machine, g *graph.Graph, p Params) Result {
 	rem := s.remainingGraph()
 	ccp := ccbase.DefaultParams(p.Seed ^ 0x94d049bb133111eb)
 	ccp.MaxExpandRounds = 8 // diameter is O(1) here
+	ccp.Ctx = p.Ctx
 	ccr := ccbase.Run(m, rem, ccp)
+	if ccr.CtxErr != nil {
+		res.CtxErr = ccr.CtxErr
+		res.Stats = m.Stats()
+		return res
+	}
 	if ccr.Failed {
 		res.Failed = true
 	}

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/pram"
@@ -28,6 +29,13 @@ import (
 // comment maps it to the paper's value and justifies the scaling.
 type Params struct {
 	Seed uint64
+
+	// Ctx, when non-nil, is checked at every round boundary of the
+	// repeat loop (and between PREPARE phases): on cancellation or
+	// deadline the run stops promptly, Result.CtxErr records ctx.Err(),
+	// and Result.Labels is nil — a cancelled run never returns a
+	// partial labeling.
+	Ctx context.Context
 
 	// MinBudget floors the initial budget b₁ = max(m/n′, MinBudget)
 	// (paper: max{m/n, log^c n}/log² n with c = 200). Default 16.
@@ -169,7 +177,10 @@ type Result struct {
 	Trace          []RoundTrace
 	Failed         bool  // round cap exhausted (bad-probability event)
 	InvariantErr   error // first Lemma 3.2 violation (CheckInvariants only)
-	Stats          pram.Stats
+	// CtxErr is ctx.Err() when Params.Ctx was cancelled mid-run; Labels
+	// is nil in that case.
+	CtxErr error
+	Stats  pram.Stats
 }
 
 // budgetTable precomputes b_ℓ for ℓ = 1..maxLevels with growth γ and a

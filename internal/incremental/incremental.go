@@ -38,6 +38,7 @@
 package incremental
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -92,18 +93,82 @@ func New(n int, opt Options) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	e := &Engine{
-		n:      n,
-		parent: make([]int32, n),
-		pool:   native.NewPool(workers),
+	e := &Engine{pool: native.NewPool(workers)}
+	e.Reset(n)
+	return e
+}
+
+// Reset discards the ingested state and re-initialises the engine over
+// n isolated vertices, reusing the parent buffer (and keeping the
+// worker pool alive) when capacity allows. It publishes a fresh
+// identity snapshot; snapshots handed out earlier stay valid. Reset is
+// a writer operation: it must not race AddEdges/AddGraph.
+func (e *Engine) Reset(n int) {
+	if cap(e.parent) >= n {
+		e.parent = e.parent[:n]
+	} else {
+		e.parent = make([]int32, n)
 	}
+	e.n = n
 	labels := make([]int32, n)
 	for i := range labels {
 		e.parent[i] = int32(i)
 		labels[i] = int32(i)
 	}
+	e.batches, e.edges = 0, 0
 	e.snap.Store(&Snapshot{Labels: labels, Components: n})
-	return e
+}
+
+// RestoreLabels discards the ingested state and re-initialises the
+// forest to the exact components of a previously published labeling,
+// republishing it as the current snapshot. labels must be a canonical
+// engine labeling (labels[v] is the minimum vertex id of v's
+// component), which makes it directly usable as a depth-one parent
+// forest. This is the recovery path for a writer whose destructive
+// rebuild (Reset + re-ingest) was cancelled midway: the live labeling
+// snaps back to the snapshot the readers never stopped seeing. Writer
+// operation, like Reset.
+func (e *Engine) RestoreLabels(labels []int32) {
+	n := len(labels)
+	if cap(e.parent) >= n {
+		e.parent = e.parent[:n]
+	} else {
+		e.parent = make([]int32, n)
+	}
+	e.n = n
+	copy(e.parent, labels)
+	snap := make([]int32, n)
+	copy(snap, labels)
+	comps := 0
+	for v, l := range labels {
+		if int(l) == v {
+			comps++
+		}
+	}
+	e.batches, e.edges = 0, 0
+	e.snap.Store(&Snapshot{Labels: snap, Components: comps})
+}
+
+// Grow extends the vertex set to n, preserving every component built
+// so far; the new vertices are isolated. A no-op when n ≤ N(). Grow is
+// a writer operation like AddEdges; the published snapshot is not
+// advanced (the new vertices appear in the snapshot after the next
+// completed batch).
+func (e *Engine) Grow(n int) {
+	if n <= e.n {
+		return
+	}
+	if cap(e.parent) >= n {
+		e.parent = e.parent[:n]
+	} else {
+		parent := make([]int32, n)
+		copy(parent, e.parent)
+		e.parent = parent
+	}
+	for v := e.n; v < n; v++ {
+		e.parent[v] = int32(v)
+	}
+	e.n = n
 }
 
 // Workers returns the resolved worker count of the batch pool.
@@ -140,14 +205,28 @@ func (e *Engine) EdgesIngested() int64 { return e.snap.Load().Edges }
 // snapshot. A batch with an endpoint outside [0, n) is rejected whole
 // — the error names the offending edge and nothing is applied.
 func (e *Engine) AddEdges(edges [][2]int) (*Snapshot, error) {
+	return e.AddEdgesContext(context.Background(), edges)
+}
+
+// AddEdgesContext is AddEdges with cancellation: ctx is checked before
+// any work and at every chunk boundary of the sharded ingest. On
+// cancellation no snapshot is published and ctx.Err() is returned —
+// queries keep observing the last completed batch, never a partial
+// one. The cancelled batch may have been partially unioned into the
+// (unpublished) forest; because unions are idempotent, re-submitting
+// the same batch after cancellation yields exactly the labeling the
+// uncancelled call would have produced.
+func (e *Engine) AddEdgesContext(ctx context.Context, edges [][2]int) (*Snapshot, error) {
 	for i, ed := range edges {
 		if ed[0] < 0 || ed[0] >= e.n || ed[1] < 0 || ed[1] >= e.n {
 			return nil, fmt.Errorf("incremental: batch edge %d = {%d,%d} out of range [0,%d)", i, ed[0], ed[1], e.n)
 		}
 	}
-	e.ingest(len(edges), func(i int) (int32, int32) {
+	if err := e.ingest(ctx, len(edges), func(i int) (int32, int32) {
 		return int32(edges[i][0]), int32(edges[i][1])
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return e.publish(int64(len(edges))), nil
 }
 
@@ -155,24 +234,40 @@ func (e *Engine) AddEdges(edges [][2]int) (*Snapshot, error) {
 // vertex count the engine was created with; its edges are in range by
 // the graph package's own construction-time validation.
 func (e *Engine) AddGraph(g *graph.Graph) *Snapshot {
+	s, _ := e.AddGraphContext(context.Background(), g)
+	return s
+}
+
+// AddGraphContext is AddGraph with the cancellation semantics of
+// AddEdgesContext.
+func (e *Engine) AddGraphContext(ctx context.Context, g *graph.Graph) (*Snapshot, error) {
 	if g.N != e.n {
 		panic("incremental: graph vertex count mismatch")
 	}
 	// Arcs come in mirror pairs; arc 2i covers undirected edge i.
-	e.ingest(g.NumEdges(), func(i int) (int32, int32) {
+	if err := e.ingest(ctx, g.NumEdges(), func(i int) (int32, int32) {
 		return g.U[2*i], g.V[2*i]
-	})
-	return e.publish(int64(g.NumEdges()))
+	}); err != nil {
+		return nil, err
+	}
+	return e.publish(int64(g.NumEdges())), nil
 }
 
-// ingest shards [0, total) over the pool and unions each edge.
-func (e *Engine) ingest(total int, edge func(i int) (int32, int32)) {
+// ingest shards [0, total) over the pool and unions each edge,
+// checking ctx between grain-sized chunks.
+func (e *Engine) ingest(ctx context.Context, total int, edge func(i int) (int32, int32)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if total == 0 {
-		return
+		return nil
 	}
 	var cursor atomic.Int64
 	e.pool.Run(func(int) {
-		for {
+		for ctx.Err() == nil {
 			lo := int(cursor.Add(grain)) - grain
 			if lo >= total {
 				return
@@ -187,6 +282,7 @@ func (e *Engine) ingest(total int, edge func(i int) (int32, int32)) {
 			}
 		}
 	})
+	return ctx.Err()
 }
 
 // publish flattens the forest into a fresh snapshot. It runs after the

@@ -1,6 +1,7 @@
 package incremental
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -270,5 +271,91 @@ func BenchmarkIncrementalAppendBatch(b *testing.B) {
 			batch[j] = [2]int{rng.Intn(g.N), rng.Intn(g.N)}
 		}
 		e.AddEdges(batch)
+	}
+}
+
+// TestEngineReset: a Reset engine (buffer and pool reuse) must be
+// indistinguishable from a freshly built one, across shrinking and
+// growing vertex counts.
+func TestEngineReset(t *testing.T) {
+	e := New(0, Options{Workers: 3})
+	defer e.Close()
+	graphs := []*graph.Graph{
+		graph.Gnm(2000, 6000, 1),
+		graph.Path(301),
+		graph.Gnm(5000, 1200, 2),
+	}
+	for i, g := range graphs {
+		e.Reset(g.N)
+		if e.N() != g.N || e.ComponentCount() != g.N || e.Batches() != 0 || e.EdgesIngested() != 0 {
+			t.Fatalf("graph %d: reset state wrong: n=%d comps=%d batches=%d edges=%d",
+				i, e.N(), e.ComponentCount(), e.Batches(), e.EdgesIngested())
+		}
+		snap := e.AddGraph(g)
+		if snap.Batches != 1 {
+			t.Fatalf("graph %d: batches=%d after one AddGraph", i, snap.Batches)
+		}
+		if err := check.SamePartition(snap.Labels, baseline.Components(g)); err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+	}
+}
+
+// TestEngineGrow: Grow preserves components, isolates the new
+// vertices, and lets later batches connect them.
+func TestEngineGrow(t *testing.T) {
+	e := New(10, Options{Workers: 2})
+	defer e.Close()
+	if _, err := e.AddEdges([][2]int{{0, 1}, {1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	e.Grow(12)
+	e.Grow(5) // no-op shrink attempt
+	if e.N() != 12 {
+		t.Fatalf("N after grow = %d", e.N())
+	}
+	snap, err := e.AddEdges([][2]int{{2, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Labels) != 12 {
+		t.Fatalf("snapshot over %d vertices, want 12", len(snap.Labels))
+	}
+	if snap.Labels[10] != snap.Labels[0] || snap.Labels[11] != 11 {
+		t.Fatalf("grown-vertex labels wrong: %v", snap.Labels)
+	}
+	// 12 vertices, component {0,1,2,10}, 8 singletons => 9 components.
+	if snap.Components != 9 {
+		t.Fatalf("components = %d, want 9", snap.Components)
+	}
+}
+
+// TestAddEdgesContextCancelled: a cancelled batch publishes nothing —
+// queries keep seeing the previous batch boundary — and re-submitting
+// the batch completes it exactly (unions are idempotent).
+func TestAddEdgesContextCancelled(t *testing.T) {
+	g := graph.Gnm(3000, 12000, 17)
+	e := New(g.N, Options{Workers: 2})
+	defer e.Close()
+	batches := g.EdgeBatches(3)
+	if _, err := e.AddEdges(batches[0]); err != nil {
+		t.Fatal(err)
+	}
+	before := e.Snapshot()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.AddEdgesContext(ctx, batches[1]); err != context.Canceled {
+		t.Fatalf("AddEdgesContext = %v, want context.Canceled", err)
+	}
+	if e.Snapshot() != before {
+		t.Fatal("cancelled batch advanced the snapshot")
+	}
+	for _, b := range batches[1:] {
+		if _, err := e.AddEdges(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := check.SamePartition(e.Snapshot().Labels, baseline.Components(g)); err != nil {
+		t.Fatal(err)
 	}
 }

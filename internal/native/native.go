@@ -21,9 +21,15 @@
 // the edge (and vertex) ranges are claimed with an atomic cursor, so
 // stragglers steal nothing but the remaining range and no goroutines
 // are spawned after engine start.
+//
+// The Engine type is the long-lived form: it owns the worker pool and
+// the pre-bound worker closure, so repeated Run calls on same-sized
+// graphs perform zero allocations — the shape pramcc.Solver builds on.
+// Components remains the one-shot convenience wrapper.
 package native
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 
@@ -53,109 +59,181 @@ type Result struct {
 	Workers int
 }
 
-// Components computes the connected components of g. The returned
-// labeling is exact on every interleaving: correctness depends only on
-// the monotone CAS-min discipline, not on scheduling.
-func Components(g *graph.Graph, opt Options) *Result {
-	workers := opt.Workers
+// phase selects the worker body of the current sweep.
+const (
+	phaseLink int32 = iota
+	phaseShortcut
+)
+
+// Engine is a reusable shared-memory solver. It owns a worker pool
+// spawned once at construction; Run may be called any number of times
+// (from one goroutine at a time) and allocates nothing itself — the
+// caller provides the label buffer. Close releases the pool.
+type Engine struct {
+	pool    *Pool
+	cursor  atomic.Int64
+	changed atomic.Bool
+
+	// Per-run state, written by Run between pool barriers only.
+	g      *graph.Graph
+	labels []int32
+	total  int
+	phase  int32
+
+	// work is the worker body bound once at construction so Run does
+	// not create a closure (and therefore does not allocate) per call.
+	work func(int)
+}
+
+// NewEngine spawns an engine with its worker pool; workers ≤ 0 selects
+// GOMAXPROCS.
+func NewEngine(workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	n := g.N
-	labels := make([]int32, n)
+	e := &Engine{pool: NewPool(workers)}
+	e.work = e.worker
+	return e
+}
+
+// Workers returns the engine's resolved worker count.
+func (e *Engine) Workers() int { return e.pool.Workers() }
+
+// Close releases the worker pool. Idempotent; the engine must be idle.
+func (e *Engine) Close() { e.pool.Close() }
+
+// Run computes the connected components of g into labels, which must
+// have length g.N; on return labels[v] is the minimum vertex id of
+// v's component. It returns the number of link+shortcut rounds run.
+//
+// ctx is checked at every round boundary: when it is cancelled or past
+// its deadline, Run abandons the computation and returns ctx.Err()
+// within one round. The labels buffer then holds a partial (monotone
+// but unconverged) labeling that the caller must discard.
+//
+// The returned labeling is exact on every interleaving: correctness
+// depends only on the monotone CAS-min discipline, not on scheduling.
+func (e *Engine) Run(ctx context.Context, g *graph.Graph, labels []int32) (int, error) {
+	if len(labels) != g.N {
+		panic("native: label buffer length does not match g.N")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for i := range labels {
 		labels[i] = int32(i)
 	}
-	res := &Result{Labels: labels, Workers: workers}
 	numEdges := g.NumEdges()
-	if n == 0 || numEdges == 0 {
-		return res
+	if g.N == 0 || numEdges == 0 {
+		return 0, ctx.Err()
 	}
+	e.g, e.labels = g, labels
+	defer func() { e.g, e.labels = nil, nil }()
 
-	p := NewPool(workers)
-	defer p.Close()
-
-	var cursor atomic.Int64
-	var changed atomic.Bool
-
-	// sweep shards [0, total) into grain-sized chunks claimed off a
-	// shared cursor; body reports whether it changed any label.
-	sweep := func(total int, body func(lo, hi int) bool) bool {
-		cursor.Store(0)
-		changed.Store(false)
-		p.Run(func(int) {
-			local := false
-			for {
-				lo := int(cursor.Add(grain)) - grain
-				if lo >= total {
-					break
-				}
-				hi := lo + grain
-				if hi > total {
-					hi = total
-				}
-				if body(lo, hi) {
-					local = true
-				}
-			}
-			if local {
-				changed.Store(true)
-			}
-		})
-		return changed.Load()
-	}
-
-	// Arcs come in mirror pairs, so scanning arc 2e covers edge e in
-	// both directions (the link below is symmetric in u and v).
-	link := func(lo, hi int) bool {
-		local := false
-		for e := lo; e < hi; e++ {
-			u, v := g.U[2*e], g.V[2*e]
-			if u == v {
-				continue
-			}
-			pu := atomic.LoadInt32(&labels[u])
-			pv := atomic.LoadInt32(&labels[v])
-			switch {
-			case pv < pu:
-				local = casMin(labels, pu, pv) || local
-			case pu < pv:
-				local = casMin(labels, pv, pu) || local
-			}
-		}
-		return local
-	}
-
-	shortcut := func(lo, hi int) bool {
-		local := false
-		for v := lo; v < hi; v++ {
-			root := atomic.LoadInt32(&labels[v])
-			for {
-				parent := atomic.LoadInt32(&labels[root])
-				if parent == root {
-					break
-				}
-				root = parent
-			}
-			local = casMin(labels, int32(v), root) || local
-		}
-		return local
-	}
-
+	rounds := 0
 	for {
-		res.Rounds++
-		linked := sweep(numEdges, link)
-		cut := sweep(n, shortcut)
+		if err := ctx.Err(); err != nil {
+			return rounds, err
+		}
+		rounds++
+		linked := e.sweep(phaseLink, numEdges)
+		cut := e.sweep(phaseShortcut, g.N)
 		// A full round with no successful CAS means the labels are flat
 		// and agree across every edge: were some edge's labels unequal,
 		// the link CAS-min on its larger side would have succeeded
 		// against a flat (self-parented) label. Labels strictly
 		// decrease on every change, so this point is always reached.
 		if !linked && !cut {
-			break
+			return rounds, nil
 		}
 	}
-	return res
+}
+
+// sweep shards [0, total) into grain-sized chunks claimed off the
+// shared cursor and reports whether any worker changed a label.
+func (e *Engine) sweep(phase int32, total int) bool {
+	e.phase, e.total = phase, total
+	e.cursor.Store(0)
+	e.changed.Store(false)
+	e.pool.Run(e.work)
+	return e.changed.Load()
+}
+
+// worker is the per-goroutine body of a sweep.
+func (e *Engine) worker(int) {
+	local := false
+	for {
+		lo := int(e.cursor.Add(grain)) - grain
+		if lo >= e.total {
+			break
+		}
+		hi := lo + grain
+		if hi > e.total {
+			hi = e.total
+		}
+		if e.phase == phaseLink {
+			local = e.link(lo, hi) || local
+		} else {
+			local = e.shortcut(lo, hi) || local
+		}
+	}
+	if local {
+		e.changed.Store(true)
+	}
+}
+
+// link lowers both endpoints of every edge in [lo, hi) towards the
+// smaller of their two current labels. Arcs come in mirror pairs, so
+// scanning arc 2e covers edge e in both directions (the update is
+// symmetric in u and v).
+func (e *Engine) link(lo, hi int) bool {
+	g, labels := e.g, e.labels
+	local := false
+	for i := lo; i < hi; i++ {
+		u, v := g.U[2*i], g.V[2*i]
+		if u == v {
+			continue
+		}
+		pu := atomic.LoadInt32(&labels[u])
+		pv := atomic.LoadInt32(&labels[v])
+		switch {
+		case pv < pu:
+			local = casMin(labels, pu, pv) || local
+		case pu < pv:
+			local = casMin(labels, pv, pu) || local
+		}
+	}
+	return local
+}
+
+// shortcut pointer-jumps every vertex in [lo, hi) to its root.
+func (e *Engine) shortcut(lo, hi int) bool {
+	labels := e.labels
+	local := false
+	for v := lo; v < hi; v++ {
+		root := atomic.LoadInt32(&labels[v])
+		for {
+			parent := atomic.LoadInt32(&labels[root])
+			if parent == root {
+				break
+			}
+			root = parent
+		}
+		local = casMin(labels, int32(v), root) || local
+	}
+	return local
+}
+
+// Components computes the connected components of g one-shot: a fresh
+// engine (and worker pool) is built and torn down around a single Run.
+// Long-lived callers should hold an Engine (or a pramcc.Solver) to
+// amortize that construction.
+func Components(g *graph.Graph, opt Options) *Result {
+	e := NewEngine(opt.Workers)
+	defer e.Close()
+	labels := make([]int32, g.N)
+	rounds, _ := e.Run(context.Background(), g, labels)
+	return &Result{Labels: labels, Rounds: rounds, Workers: e.Workers()}
 }
 
 // casMin lowers labels[at] to val if val is smaller, retrying on

@@ -1,6 +1,7 @@
 package native
 
 import (
+	"context"
 	"testing"
 
 	"repro/graph"
@@ -133,4 +134,68 @@ func BenchmarkNativeHighDiameter(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		Components(g, Options{})
 	}
+}
+
+// TestEngineReuse: the long-lived Engine form must match the one-shot
+// Components across repeated runs on differently-sized graphs, with
+// the caller-owned label buffer regrown as needed.
+func TestEngineReuse(t *testing.T) {
+	e := NewEngine(3)
+	defer e.Close()
+	graphs := []*graph.Graph{
+		graph.Gnm(2000, 6000, 1),
+		graph.Path(301),
+		graph.Gnm(5000, 1000, 2),
+		graph.Clique(64),
+	}
+	var labels []int32
+	for i, g := range graphs {
+		if cap(labels) >= g.N {
+			labels = labels[:g.N]
+		} else {
+			labels = make([]int32, g.N)
+		}
+		rounds, err := e.Run(context.Background(), g, labels)
+		if err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+		if g.NumEdges() > 0 && rounds == 0 {
+			t.Fatalf("graph %d: zero rounds", i)
+		}
+		requireOracle(t, g, labels)
+		if err := check.SamePartition(labels, baseline.Components(g)); err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+	}
+}
+
+// TestEngineRunCancellation: a cancelled context aborts Run at a round
+// boundary with ctx.Err(), and the engine stays usable.
+func TestEngineRunCancellation(t *testing.T) {
+	e := NewEngine(2)
+	defer e.Close()
+	g := graph.Gnm(3000, 9000, 4)
+	labels := make([]int32, g.N)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Run(ctx, g, labels); err != context.Canceled {
+		t.Fatalf("Run = %v, want context.Canceled", err)
+	}
+	if _, err := e.Run(context.Background(), g, labels); err != nil {
+		t.Fatal(err)
+	}
+	requireOracle(t, g, labels)
+}
+
+// TestEngineRunBadBuffer: a mis-sized label buffer is a programming
+// error and must panic loudly, not corrupt memory.
+func TestEngineRunBadBuffer(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run accepted a short label buffer")
+		}
+	}()
+	_, _ = e.Run(context.Background(), graph.Path(10), make([]int32, 3))
 }

@@ -13,8 +13,9 @@ import "sync"
 // PRAM simulator does. Run broadcasts the job to all workers and
 // blocks until every worker has returned.
 type Pool struct {
-	jobs []chan func(worker int)
-	wg   sync.WaitGroup
+	jobs      []chan func(worker int)
+	wg        sync.WaitGroup
+	closeOnce sync.Once
 }
 
 // New spawns a pool of the given worker count (must be > 0).
@@ -46,8 +47,13 @@ func (p *Pool) Run(f func(worker int)) {
 }
 
 // Close terminates the worker goroutines. The pool must be idle.
+// Close is idempotent: long-lived owners (pramcc.Solver, the shared
+// engines behind the compatibility wrappers) may be closed from
+// multiple cleanup paths.
 func (p *Pool) Close() {
-	for _, ch := range p.jobs {
-		close(ch)
-	}
+	p.closeOnce.Do(func() {
+		for _, ch := range p.jobs {
+			close(ch)
+		}
+	})
 }

@@ -15,6 +15,7 @@
 package spanning
 
 import (
+	"context"
 	"math"
 
 	"repro/graph"
@@ -49,16 +50,28 @@ type Result struct {
 	Prep        int
 	Trace       []PhaseTrace
 	Failed      bool
-	Stats       pram.Stats
+	// CtxErr is ctx.Err() when Params.Ctx was cancelled mid-run; Labels
+	// and ForestEdges are nil in that case.
+	CtxErr error
+	Stats  pram.Stats
 }
 
 // Run executes Spanning Forest algorithm on g.
 func Run(m *pram.Machine, g *graph.Graph, p Params) Result {
 	if p.BExp == 0 {
-		p = DefaultParams(p.Seed)
+		d := DefaultParams(p.Seed)
+		d.Mode, d.Ctx = p.Mode, p.Ctx
+		p = d
+	}
+	ctx := p.Ctx
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	n := g.N
 	mEdges := max(g.NumEdges(), 1)
+	if err := ctx.Err(); err != nil {
+		return Result{CtxErr: err}
+	}
 
 	st := vanilla.NewSFState(g, p.Seed)
 
@@ -70,6 +83,9 @@ func Run(m *pram.Machine, g *graph.Graph, p Params) Result {
 			phases = 2*ceilLog2(ceilLog2(n)+1) + 2
 		}
 		for i := 0; i < phases; i++ {
+			if err := ctx.Err(); err != nil {
+				return Result{CtxErr: err, Prep: prep, Stats: m.Stats()}
+			}
 			prep++
 			if !st.RunPhase(m) {
 				break
@@ -98,6 +114,12 @@ func Run(m *pram.Machine, g *graph.Graph, p Params) Result {
 	}
 
 	for phase := 0; ; phase++ {
+		if err := ctx.Err(); err != nil {
+			res.CtxErr = err
+			res.Labels, res.ForestEdges = nil, nil
+			res.Stats = m.Stats()
+			return res
+		}
 		st.Arcs.MarkIncident(m, incident)
 		m.Step(n, func(v int) {
 			if st.D.Parent[v] == int32(v) && incident[v] == 1 {

@@ -1,6 +1,9 @@
 package pramcc
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Backend selects the execution engine behind Components.
 type Backend int
@@ -29,30 +32,58 @@ const (
 	BackendIncremental
 )
 
-// String returns "simulated", "native", or "incremental".
+// String returns the backend's registered name ("simulated",
+// "native", "incremental", …).
 func (b Backend) String() string {
-	switch b {
-	case BackendSimulated:
-		return "simulated"
-	case BackendNative:
-		return "native"
-	case BackendIncremental:
-		return "incremental"
+	if info, ok := lookupBackend(b); ok {
+		return info.name
 	}
 	return fmt.Sprintf("Backend(%d)", int(b))
 }
 
-// ParseBackend maps a flag value to a Backend.
+// ParseBackend maps a flag value to a Backend. Matching is
+// case-insensitive against the registry's canonical names and aliases
+// ("sim" for simulated, "inc" for incremental); the empty string
+// selects the default BackendSimulated. The error of an unknown name
+// lists the actually registered backends.
 func ParseBackend(s string) (Backend, error) {
-	switch s {
-	case "simulated", "sim", "":
+	t := strings.ToLower(strings.TrimSpace(s))
+	if t == "" {
 		return BackendSimulated, nil
-	case "native":
-		return BackendNative, nil
-	case "incremental", "inc":
-		return BackendIncremental, nil
 	}
-	return 0, fmt.Errorf("pramcc: unknown backend %q (want simulated, native, or incremental)", s)
+	for _, info := range registry {
+		if t == info.name {
+			return info.backend, nil
+		}
+		for _, a := range info.aliases {
+			if t == a {
+				return info.backend, nil
+			}
+		}
+	}
+	return 0, errUnknownBackend(fmt.Sprintf("%q", s))
+}
+
+// MarshalText implements encoding.TextMarshaler with the registered
+// backend name, so a Backend embeds directly in JSON bench output and
+// works as a flag.TextVar value. Marshaling an unregistered value is
+// an error rather than an unparseable "Backend(n)" string.
+func (b Backend) MarshalText() ([]byte, error) {
+	info, ok := lookupBackend(b)
+	if !ok {
+		return nil, errUnknownBackend(int(b))
+	}
+	return []byte(info.name), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler via ParseBackend.
+func (b *Backend) UnmarshalText(text []byte) error {
+	parsed, err := ParseBackend(string(text))
+	if err != nil {
+		return err
+	}
+	*b = parsed
+	return nil
 }
 
 // Option configures an algorithm run.

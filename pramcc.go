@@ -1,17 +1,14 @@
 package pramcc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"repro/graph"
 	"repro/internal/ccbase"
-	"repro/internal/core"
-	"repro/internal/incremental"
-	"repro/internal/native"
 	"repro/internal/pram"
-	"repro/internal/spanning"
 	"repro/internal/vanilla"
 )
 
@@ -134,38 +131,15 @@ func apply(opts []Option) config {
 // partition; the non-simulated backends leave every model-only Stats
 // field zero. This is the recommended entry point when the goal is the
 // answer rather than a specific theorem's cost profile.
+//
+// Components is a compatibility wrapper over a process-shared Solver
+// for the chosen (backend, workers) pair: the engine and its worker
+// pool are built once and reused across calls, not torn down per call.
+// Callers who want cancellation, deadlines, or zero steady-state
+// allocations should hold their own Solver; callers serving concurrent
+// queries during recomputes should use Service.
 func Components(g *graph.Graph, opts ...Option) (*Result, error) {
-	c := apply(opts)
-	switch c.backend {
-	case BackendNative:
-		if err := validate(g); err != nil {
-			return nil, err
-		}
-		start := time.Now()
-		res := native.Components(g, native.Options{Workers: c.workers})
-		wall := time.Since(start)
-		return newResult(wall, res.Labels, Stats{
-			Backend: BackendNative,
-			Workers: res.Workers,
-			Rounds:  res.Rounds,
-		}), nil
-	case BackendIncremental:
-		if err := validate(g); err != nil {
-			return nil, err
-		}
-		start := time.Now()
-		eng := incremental.New(g.N, incremental.Options{Workers: c.workers})
-		defer eng.Close()
-		snap := eng.AddGraph(g)
-		wall := time.Since(start)
-		return newResult(wall, snap.Labels, Stats{
-			Backend: BackendIncremental,
-			Workers: eng.Workers(),
-			Rounds:  snap.Batches, // one batch for a one-shot run
-		}), nil
-	default:
-		return ConnectedComponents(g, opts...)
-	}
+	return sharedSolve(context.Background(), g, apply(opts))
 }
 
 // ConnectedComponents computes the connected components of g with the
@@ -173,44 +147,12 @@ func Components(g *graph.Graph, opts ...Option) (*Result, error) {
 // simulated time with O(m) processors, with good probability. The
 // returned labels are always correct: if the round cap is exhausted
 // (Stats.Failed), the Theorem-1 postprocessing still completes the
-// computation.
+// computation. Like Components, it is a wrapper over the shared
+// simulated-backend Solver.
 func ConnectedComponents(g *graph.Graph, opts ...Option) (*Result, error) {
-	if err := validate(g); err != nil {
-		return nil, err
-	}
 	c := apply(opts)
-	m := pram.New(c.workers)
-	p := core.DefaultParams(c.seed)
-	if c.maxRounds > 0 {
-		p.MaxRounds = c.maxRounds
-	}
-	if c.growth > 0 {
-		p.Growth = c.growth
-	}
-	if c.minBudget > 0 {
-		p.MinBudget = c.minBudget
-	}
-	if c.maxLinkIters > 0 {
-		p.MaxLinkIters = c.maxLinkIters
-	}
-	p.DisableBoost = c.disableBoost
-	start := time.Now()
-	res := core.Run(m, g, p)
-	wall := time.Since(start)
-	return newResult(wall, res.Labels, Stats{
-		Backend:       BackendSimulated,
-		Workers:       m.Workers(),
-		Rounds:        res.Rounds,
-		PRAMSteps:     res.Stats.Steps,
-		Work:          res.Stats.Work,
-		MaxProcessors: res.Stats.MaxProcs,
-		PeakSpace:     res.Stats.MaxSpace,
-		MaxLevel:      int(res.MaxLevel),
-		CumBlockWords: res.CumBlockWords,
-		Prep:          res.Prep,
-		PostPhases:    res.PostPhases,
-		Failed:        res.Failed,
-	}), nil
+	c.backend = BackendSimulated
+	return sharedSolve(context.Background(), g, c)
 }
 
 // ConnectedComponentsLogLog computes connected components with the
@@ -245,7 +187,7 @@ func ConnectedComponentsLogLog(g *graph.Graph, opts ...Option) (*Result, error) 
 		Failed:        res.Failed,
 	})
 	if res.Failed {
-		return out, fmt.Errorf("pramcc: phase cap exhausted after %d phases (bad-probability event; rerun with another seed or WithMaxPhases)", res.Phases)
+		return out, errPhaseCap(res.Phases)
 	}
 	return out, nil
 }
@@ -254,46 +196,18 @@ func ConnectedComponentsLogLog(g *graph.Graph, opts ...Option) (*Result, error) 
 // algorithm: O(log d · log log_{m/n} n) simulated time. Forest edges
 // are edges of the input graph; there are exactly n − NumComponents
 // of them. On phase-cap exhaustion an error is returned alongside the
-// partial result.
+// partial result. The context-aware form is Solver.SpanningForest.
 func SpanningForest(g *graph.Graph, opts ...Option) (*ForestResult, error) {
 	if err := validate(g); err != nil {
 		return nil, err
 	}
-	c := apply(opts)
-	m := pram.New(c.workers)
-	p := spanning.DefaultParams(c.seed)
-	if c.maxPhases > 0 {
-		p.MaxPhases = c.maxPhases
-	}
-	if c.combining {
-		p.Mode = ccbase.ModeCombining
-	}
-	start := time.Now()
-	res := spanning.Run(m, g, p)
-	wall := time.Since(start)
-	edges := make([][2]int, 0, len(res.ForestEdges))
-	for _, idx := range res.ForestEdges {
-		edges = append(edges, [2]int{int(g.U[2*idx]), int(g.V[2*idx])})
-	}
-	out := &ForestResult{
-		Result: *newResult(wall, res.Labels, Stats{
-			Backend:       BackendSimulated,
-			Workers:       m.Workers(),
-			Rounds:        res.Phases,
-			PRAMSteps:     res.Stats.Steps,
-			Work:          res.Stats.Work,
-			MaxProcessors: res.Stats.MaxProcs,
-			PeakSpace:     res.Stats.MaxSpace,
-			Prep:          res.Prep,
-			Failed:        res.Failed,
-		}),
-		EdgeIndices: res.ForestEdges,
-		Edges:       edges,
-	}
-	if res.Failed {
-		return out, fmt.Errorf("pramcc: phase cap exhausted after %d phases (bad-probability event; rerun with another seed or WithMaxPhases)", res.Phases)
-	}
-	return out, nil
+	return spanningForest(context.Background(), g, apply(opts))
+}
+
+// errPhaseCap is the phase-cap-exhaustion error shared by the
+// Theorem-1 and Theorem-2 entry points.
+func errPhaseCap(phases int) error {
+	return fmt.Errorf("pramcc: phase cap exhausted after %d phases (bad-probability event; rerun with another seed or WithMaxPhases)", phases)
 }
 
 // VanillaComponents computes connected components with Reif's O(log n)

@@ -1,0 +1,6 @@
+//go:build race
+
+package pramcc
+
+// raceEnabled: see race_off.go.
+const raceEnabled = true

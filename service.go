@@ -1,0 +1,209 @@
+package pramcc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/graph"
+)
+
+// Service is the serving layer over a Solver: a connectivity service
+// that answers SameComponent/Labels/NumComponents queries lock-free
+// and concurrently — from an atomically published immutable snapshot —
+// while a recompute (Update) or a streaming batch (Ingest) is in
+// flight. It generalizes what the Incremental handle has always done
+// for the union-find backend to every registered backend: queries
+// never block on writers and never observe a half-built labeling; a
+// snapshot is replaced only by a complete successor.
+//
+// Writers (Update, Ingest, Grow) serialize on an internal mutex. A
+// cancelled or failed Update/Ingest leaves the published snapshot
+// untouched, so queries stay consistent across a cancelled solve.
+type Service struct {
+	mu     sync.Mutex
+	solver *Solver
+	snap   atomic.Pointer[Result]
+	closed bool
+}
+
+// NewService builds a Service over n isolated vertices (the initial
+// snapshot: every vertex its own component) with the same options as
+// NewSolver. With BackendIncremental the service additionally supports
+// streaming Ingest batches on top of the live labeling.
+func NewService(n int, opts ...Option) (*Service, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("pramcc: negative vertex count %d", n)
+	}
+	solver, err := NewSolver(opts...)
+	if err != nil {
+		return nil, err
+	}
+	sv := &Service{solver: solver}
+	if st, ok := solver.eng.(streamEngine); ok {
+		st.reset(n)
+	}
+	labels := make([]int32, n)
+	for i := range labels {
+		labels[i] = int32(i)
+	}
+	sv.snap.Store(&Result{
+		Labels:        labels,
+		NumComponents: n,
+		Stats:         Stats{Backend: solver.cfg.backend},
+	})
+	return sv, nil
+}
+
+// Update recomputes the labeling of g on the service's backend and
+// publishes it as the new snapshot, replacing the vertex set with
+// g's. The returned Result is the published snapshot itself: immutable
+// and valid forever. On error — including ctx cancellation, checked at
+// round/batch boundaries — nothing is published and the previous
+// snapshot keeps serving queries.
+func (sv *Service) Update(ctx context.Context, g *graph.Graph) (*Result, error) {
+	if err := validate(g); err != nil {
+		return nil, err
+	}
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if sv.closed {
+		return nil, ErrSolverClosed
+	}
+	res, err := sv.solver.Solve(ctx, g)
+	if err != nil {
+		// A streaming engine rebuilds destructively (reset + ingest),
+		// so a cancelled or failed solve has wiped its live labeling.
+		// Snap it back to the published snapshot: queries never saw
+		// the failure, and the next Ingest must continue from what
+		// they see, not from a half-built forest.
+		if st, ok := sv.solver.eng.(streamEngine); ok {
+			st.restore(sv.snap.Load().Labels)
+		}
+		return nil, err
+	}
+	pub := &Result{
+		Labels:        append([]int32(nil), res.Labels...),
+		NumComponents: res.NumComponents,
+		Stats:         res.Stats,
+	}
+	sv.snap.Store(pub)
+	return pub, nil
+}
+
+// Ingest unions one batch of undirected edges into the live labeling
+// and publishes the result — the streaming path, available when the
+// service's backend maintains a live labeling (BackendIncremental).
+// Endpoints must lie in [0, N()); use Grow to extend the vertex set
+// first. On a cancelled ctx no snapshot is published; because unions
+// are idempotent, re-submitting the same batch completes the cancelled
+// one exactly.
+func (sv *Service) Ingest(ctx context.Context, edges [][2]int) (*Result, error) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if sv.closed {
+		return nil, ErrSolverClosed
+	}
+	st, ok := sv.solver.eng.(streamEngine)
+	if !ok {
+		return nil, fmt.Errorf("pramcc: backend %v does not support streaming ingest (use Update, or build the Service with BackendIncremental)", sv.solver.cfg.backend)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var out solveOutput
+	components, err := st.ingest(ctx, edges, &out)
+	if err != nil {
+		return nil, err
+	}
+	out.stats.Wall = time.Since(start)
+	pub := &Result{
+		Labels:        out.labels,
+		NumComponents: components,
+		Stats:         out.stats,
+	}
+	sv.snap.Store(pub)
+	return pub, nil
+}
+
+// Grow extends the vertex set to n isolated new vertices, preserving
+// every component, and publishes the widened snapshot. Streaming
+// backends only; a no-op when n ≤ N().
+func (sv *Service) Grow(n int) error {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if sv.closed {
+		return ErrSolverClosed
+	}
+	st, ok := sv.solver.eng.(streamEngine)
+	if !ok {
+		return fmt.Errorf("pramcc: backend %v does not support Grow (the vertex set is defined by Update)", sv.solver.cfg.backend)
+	}
+	cur := sv.snap.Load()
+	if n <= len(cur.Labels) {
+		return nil
+	}
+	st.grow(n)
+	labels := make([]int32, n)
+	copy(labels, cur.Labels)
+	for v := len(cur.Labels); v < n; v++ {
+		labels[v] = int32(v)
+	}
+	pub := &Result{
+		Labels:        labels,
+		NumComponents: cur.NumComponents + n - len(cur.Labels),
+		Stats:         cur.Stats,
+	}
+	sv.snap.Store(pub)
+	return nil
+}
+
+// Snapshot returns the currently published labeling: an immutable
+// Result that stays valid (and queryable) forever, even across later
+// Updates and Close. Callers must not modify it.
+func (sv *Service) Snapshot() *Result { return sv.snap.Load() }
+
+// SameComponent reports whether v and w are in the same component of
+// the published snapshot. Out-of-range vertices are in no component
+// (false, except v == w). Safe to call concurrently with writers.
+func (sv *Service) SameComponent(v, w int) bool {
+	if v == w {
+		return true
+	}
+	r := sv.snap.Load()
+	if v < 0 || w < 0 || v >= len(r.Labels) || w >= len(r.Labels) {
+		return false
+	}
+	return r.Labels[v] == r.Labels[w]
+}
+
+// NumComponents returns the component count of the published snapshot.
+func (sv *Service) NumComponents() int { return sv.snap.Load().NumComponents }
+
+// N returns the vertex count of the published snapshot.
+func (sv *Service) N() int { return len(sv.snap.Load().Labels) }
+
+// Labels returns a copy of the published labeling.
+func (sv *Service) Labels() []int32 {
+	return append([]int32(nil), sv.snap.Load().Labels...)
+}
+
+// Backend returns the execution backend behind the service.
+func (sv *Service) Backend() Backend { return sv.solver.Backend() }
+
+// Close releases the underlying Solver. Idempotent. Queries keep
+// serving the last published snapshot; writers return ErrSolverClosed.
+func (sv *Service) Close() {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if !sv.closed {
+		sv.closed = true
+		sv.solver.Close()
+	}
+}

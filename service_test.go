@@ -1,0 +1,270 @@
+package pramcc
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/graph"
+	"repro/internal/baseline"
+	"repro/internal/check"
+)
+
+// TestServiceUpdateAllBackends: the serving layer publishes correct
+// immutable snapshots on every registered backend, and earlier
+// snapshots survive later updates untouched.
+func TestServiceUpdateAllBackends(t *testing.T) {
+	g1 := graph.Gnm(2000, 6000, 3)
+	g2 := graph.Path(1500)
+	for _, bk := range Backends() {
+		t.Run(bk.String(), func(t *testing.T) {
+			sv, err := NewService(10, WithBackend(bk), WithSeed(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sv.Close()
+			if sv.N() != 10 || sv.NumComponents() != 10 {
+				t.Fatalf("fresh service: N=%d components=%d", sv.N(), sv.NumComponents())
+			}
+			if sv.SameComponent(0, 1) || !sv.SameComponent(3, 3) {
+				t.Fatal("fresh service connectivity wrong")
+			}
+			r1, err := sv.Update(context.Background(), g1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := check.SamePartition(sv.Labels(), baseline.Components(g1)); err != nil {
+				t.Fatal(err)
+			}
+			keep := append([]int32(nil), r1.Labels...)
+			if _, err := sv.Update(context.Background(), g2); err != nil {
+				t.Fatal(err)
+			}
+			if sv.N() != g2.N {
+				t.Fatalf("N after second update = %d, want %d", sv.N(), g2.N)
+			}
+			// r1 is an immutable published snapshot: the later Update
+			// must not have touched it.
+			for i := range keep {
+				if r1.Labels[i] != keep[i] {
+					t.Fatal("published snapshot mutated by a later Update")
+				}
+			}
+			if err := check.SamePartition(sv.Snapshot().Labels, baseline.Components(g2)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestServiceIngest: the streaming path on the incremental backend —
+// batches union into the live labeling, Grow extends the vertex set,
+// and non-streaming backends reject Ingest with a useful error.
+func TestServiceIngest(t *testing.T) {
+	g := graph.CliqueBeads(graph.CliqueBeadsSpec{Beads: 16, Size: 10, IntraDeg: 6, Bridges: 1, Seed: 5})
+	sv, err := NewService(g.N, WithBackend(BackendIncremental))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Close()
+	for _, batch := range g.EdgeBatches(7) {
+		res, err := sv.Ingest(context.Background(), batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumComponents != sv.NumComponents() {
+			t.Fatalf("ingest result components %d, snapshot %d", res.NumComponents, sv.NumComponents())
+		}
+	}
+	if err := check.SamePartition(sv.Labels(), baseline.Components(g)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Grow then connect a new vertex to component of vertex 0.
+	n := sv.N()
+	if err := sv.Grow(n + 2); err != nil {
+		t.Fatal(err)
+	}
+	if sv.N() != n+2 || sv.SameComponent(0, n) {
+		t.Fatalf("grow: N=%d, same(0,%d)=%v", sv.N(), n, sv.SameComponent(0, n))
+	}
+	if _, err := sv.Ingest(context.Background(), [][2]int{{0, n}}); err != nil {
+		t.Fatal(err)
+	}
+	if !sv.SameComponent(0, n) || sv.SameComponent(0, n+1) {
+		t.Fatal("ingest after grow: connectivity wrong")
+	}
+
+	// Out-of-range edges are rejected whole; the snapshot stands.
+	before := sv.NumComponents()
+	if _, err := sv.Ingest(context.Background(), [][2]int{{0, sv.N() + 5}}); err == nil {
+		t.Fatal("out-of-range ingest accepted")
+	}
+	if sv.NumComponents() != before {
+		t.Fatal("rejected ingest changed the snapshot")
+	}
+
+	// Native backend: Ingest and Grow are typed errors, Update works.
+	nat, err := NewService(4, WithBackend(BackendNative))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nat.Close()
+	if _, err := nat.Ingest(context.Background(), [][2]int{{0, 1}}); err == nil {
+		t.Fatal("native Ingest succeeded")
+	}
+	if err := nat.Grow(10); err == nil {
+		t.Fatal("native Grow succeeded")
+	}
+	if _, err := nat.Update(context.Background(), graph.Path(64)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServiceUpdateThenIngest: on the incremental backend an Update
+// defines the live labeling and Ingest continues from it.
+func TestServiceUpdateThenIngest(t *testing.T) {
+	g := graph.Gnm(500, 400, 9) // sparse: many components to merge
+	sv, err := NewService(0, WithBackend(BackendIncremental))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Close()
+	if _, err := sv.Update(context.Background(), g); err != nil {
+		t.Fatal(err)
+	}
+	before := sv.NumComponents()
+	// Connect vertices 0..9 in a chain on top of the updated graph.
+	edges := make([][2]int, 0, 9)
+	for v := 0; v < 9; v++ {
+		edges = append(edges, [2]int{v, v + 1})
+	}
+	if _, err := sv.Ingest(context.Background(), edges); err != nil {
+		t.Fatal(err)
+	}
+	if sv.NumComponents() > before {
+		t.Fatalf("components grew from %d to %d after merging ingest", before, sv.NumComponents())
+	}
+	for v := 0; v < 9; v++ {
+		if !sv.SameComponent(v, v+1) {
+			t.Fatalf("chain edge {%d,%d} not reflected", v, v+1)
+		}
+	}
+}
+
+// TestServiceConcurrentQueriesDuringWrites: the headline contract —
+// lock-free queries stay safe and consistent while Update and Ingest
+// replace snapshots. Run under -race in CI.
+func TestServiceConcurrentQueriesDuringWrites(t *testing.T) {
+	g := graph.Gnm(3000, 12000, 23)
+	sv, err := NewService(g.N, WithBackend(BackendIncremental))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					snap := sv.Snapshot()
+					if snap.NumComponents < 1 || snap.NumComponents > g.N {
+						t.Error("inconsistent snapshot")
+						return
+					}
+					_ = sv.SameComponent(0, g.N-1)
+				}
+			}
+		}()
+	}
+	for _, batch := range g.EdgeBatches(20) {
+		if _, err := sv.Ingest(context.Background(), batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sv.Update(context.Background(), g); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if err := check.SamePartition(sv.Labels(), baseline.Components(g)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServiceIngestAfterCancelledUpdate is the review regression for
+// the destructive-rebuild hole: Update on a streaming backend resets
+// the live forest before the (cancellable) re-ingest, so a cancelled
+// Update used to leave a wiped engine behind — the next Ingest then
+// silently published a labeling that had lost every previously
+// ingested component. The live labeling must instead snap back to the
+// published snapshot, so ingestion continues from what queries see.
+func TestServiceIngestAfterCancelledUpdate(t *testing.T) {
+	g := graph.CliqueBeads(graph.CliqueBeadsSpec{Beads: 32, Size: 12, IntraDeg: 6, Bridges: 1, Seed: 3})
+	sv, err := NewService(g.N, WithBackend(BackendIncremental))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Close()
+	batches := g.EdgeBatches(4)
+	for _, b := range batches[:3] {
+		if _, err := sv.Ingest(context.Background(), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keep := sv.Labels()
+
+	// A MID-RUN-cancelled full recompute over a graph with a DIFFERENT
+	// vertex count — the worst case: the engine has already been reset
+	// to the new graph's size (an already-cancelled context would fail
+	// fast before the destructive reset and never tickle the bug, so
+	// the check budget is chosen to survive the Solver's fail-fast
+	// check and cancel during the ingest itself).
+	if _, err := sv.Update(newCancelAfter(2), graph.Gnm(g.N/2, 20000, 5)); err == nil {
+		t.Fatal("cancelled Update succeeded")
+	}
+
+	// The next batch must extend the pre-Update labeling, not a wiped
+	// forest.
+	if _, err := sv.Ingest(context.Background(), batches[3]); err != nil {
+		t.Fatal(err)
+	}
+	if sv.N() != g.N {
+		t.Fatalf("vertex set shrank to %d after cancelled Update", sv.N())
+	}
+	for v, l := range keep {
+		if !sv.SameComponent(v, int(l)) {
+			t.Fatalf("component of %d lost after cancelled Update", v)
+		}
+	}
+	if err := check.SamePartition(sv.Labels(), baseline.Components(g)); err != nil {
+		t.Fatalf("final labeling wrong after cancelled Update: %v", err)
+	}
+}
+
+// TestServiceClosed: writers fail after Close, queries keep serving
+// the last snapshot.
+func TestServiceClosed(t *testing.T) {
+	g := graph.Path(100)
+	sv, err := NewService(0, WithBackend(BackendNative))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.Update(context.Background(), g); err != nil {
+		t.Fatal(err)
+	}
+	sv.Close()
+	sv.Close() // idempotent
+	if _, err := sv.Update(context.Background(), g); err != ErrSolverClosed {
+		t.Fatalf("Update after Close: %v", err)
+	}
+	if !sv.SameComponent(0, 99) || sv.NumComponents() != 1 {
+		t.Fatal("queries broken after Close")
+	}
+}
