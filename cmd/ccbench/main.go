@@ -1,14 +1,16 @@
-// Command ccbench runs the reproduction experiments E1–E13 and prints
-// their tables. The output of `ccbench -scale full` is the source of
-// EXPERIMENTS.md. E11 compares every execution backend on wall clock —
-// its backend columns are enumerated from the pramcc backend registry
-// at run time, so a newly registered backend appears in the table (and
-// the JSON artifact) without any ccbench change — E12 pits the
-// incremental streaming backend against recompute-per-batch, E13 the
-// three graph loaders (sequential text, parallel text, binary) on load
-// throughput;
+// Command ccbench runs the reproduction experiments (E1 onwards; the
+// list and the -experiment usage string are enumerated from the
+// internal/bench experiment registry at run time, so they are never
+// stale) and prints their tables. The output of `ccbench -scale full`
+// is the source of EXPERIMENTS.md. E11 compares every execution
+// backend on wall clock — its backend columns are enumerated from the
+// pramcc backend registry the same way — E12 pits the incremental
+// streaming backend against recompute-per-batch, E13 the three graph
+// loaders (sequential text, parallel text, binary) on load
+// throughput, E14 the columnar span replay against the boxed [][2]int
+// replay on ingest throughput;
 //
-//	ccbench -experiment E11,E12,E13 -format json > BENCH_$(date +%Y%m%d).json
+//	ccbench -experiment E11,E12,E13,E14 -format json > BENCH_$(date +%Y%m%d).json
 //
 // snapshots them as the machine-readable artifact tracked across
 // commits. E13 defaults to generated workloads; -graph FILE points it
@@ -17,7 +19,7 @@
 //
 // Usage:
 //
-//	ccbench [-experiment all|E1,...,E13] [-scale quick|full] [-format text|markdown|csv|json] [-graph FILE]
+//	ccbench [-experiment all|E1,E2,...] [-scale quick|full] [-format text|markdown|csv|json] [-graph FILE]
 package main
 
 import (
@@ -31,7 +33,11 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("experiment", "all", "comma-separated experiment ids (E1..E13) or 'all'")
+	// The id range in the usage string is derived from the experiment
+	// registry, so it can never go stale when an experiment is added.
+	ids := bench.IDs()
+	expFlag := flag.String("experiment", "all",
+		fmt.Sprintf("comma-separated experiment ids (%s..%s) or 'all'", ids[0], ids[len(ids)-1]))
 	scaleFlag := flag.String("scale", "quick", "quick (seconds) or full (minutes, EXPERIMENTS.md scale)")
 	formatFlag := flag.String("format", "text", "output format: text, markdown, csv, or json")
 	graphFlag := flag.String("graph", "", "graph file for E13 (text or binary, auto-detected) instead of generated workloads")

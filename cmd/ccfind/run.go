@@ -143,17 +143,20 @@ func run(args []string, in io.Reader, out io.Writer) error {
 
 // runBatches replays g's edges in k batches through the streaming
 // incremental backend, printing one latency line per batch and a
-// final summary.
+// final summary. The replay is columnar end-to-end: each batch is a
+// zero-copy SpanBatches slice of the loaded graph's arc columns,
+// ingested with AddSpan, so nothing between the loader and the
+// union-find materializes a [][2]int edge list.
 func runBatches(g *graph.Graph, k, workers int, verbose bool, out io.Writer) error {
 	inc, err := pramcc.NewIncremental(g.N, pramcc.WithWorkers(workers))
 	if err != nil {
 		return err
 	}
 	defer inc.Close()
-	// EdgeBatches caps k at the edge count; report the real total.
-	batches := g.EdgeBatches(k)
+	// SpanBatches caps k at the edge count; report the real total.
+	batches := g.SpanBatches(k)
 	for _, batch := range batches {
-		bs, err := inc.AddEdges(batch)
+		bs, err := inc.AddSpan(batch)
 		if err != nil {
 			return err
 		}
@@ -163,7 +166,7 @@ func runBatches(g *graph.Graph, k, workers int, verbose bool, out io.Writer) err
 	fmt.Fprintf(out, "n=%d m=%d components=%d batches=%d backend=incremental\n",
 		g.N, g.NumEdges(), inc.ComponentCount(), inc.BatchCount())
 	if verbose {
-		for v, l := range inc.Labels() {
+		for v, l := range inc.LabelsInto(nil) {
 			fmt.Fprintf(out, "%d %d\n", v, l)
 		}
 	}

@@ -52,10 +52,12 @@ func main() {
 		}(r)
 	}
 
-	// Writer: the graph's edges arrive in 20 batches.
+	// Writer: the graph's edges arrive in 20 batches — zero-copy
+	// columnar spans of the resident graph, so ingestion allocates
+	// only the published snapshots.
 	ctx := context.Background()
-	for i, batch := range g.EdgeBatches(20) {
-		res, err := svc.Ingest(ctx, batch)
+	for i, batch := range g.SpanBatches(20) {
+		res, err := svc.IngestSpan(ctx, batch)
 		if err != nil {
 			log.Fatal(err)
 		}

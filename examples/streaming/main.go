@@ -42,8 +42,11 @@ func main() {
 
 	fmt.Printf("%7s %10s %12s %12s %14s\n", "batch", "edges", "total edges", "components", "batch latency")
 	var incrTotal time.Duration
-	for _, batch := range g.EdgeBatches(*batches) {
-		bs, err := inc.AddEdges(batch)
+	// SpanBatches slices the graph's columnar arc storage in place, and
+	// AddSpan shards those columns straight onto the worker pool: the
+	// whole replay is zero-copy (no [][2]int is ever materialized).
+	for _, batch := range g.SpanBatches(*batches) {
+		bs, err := inc.AddSpan(batch)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -61,9 +64,10 @@ func main() {
 	// one full native recompute per batch over the growing prefix.
 	prefix := graph.New(g.N)
 	var recompute time.Duration
-	for _, batch := range g.EdgeBatches(*batches) {
-		for _, e := range batch {
-			prefix.AddEdge(e[0], e[1])
+	for _, batch := range g.SpanBatches(*batches) {
+		for i := 0; i < batch.Len(); i++ {
+			u, v := batch.Edge(i)
+			prefix.AddEdge(int(u), int(v))
 		}
 		t0 := time.Now()
 		if _, err := pramcc.Components(prefix, pramcc.WithBackend(pramcc.BackendNative),
@@ -78,7 +82,7 @@ func main() {
 		log.Fatal(err)
 	}
 	agree := true
-	for i, l := range inc.Labels() {
+	for i, l := range inc.LabelsInto(nil) {
 		if l != nat.Labels[i] {
 			agree = false
 			break

@@ -142,41 +142,35 @@ func (g *Graph) Validate() error {
 	return nil
 }
 
-// Edges returns the undirected edge list (one entry per arc pair).
+// Edges returns the undirected edge list (one entry per arc pair),
+// materialized as [][2]int.
+//
+// Deprecated: Edges copies and boxes every edge at 4× the graph's own
+// columnar footprint. Use Span for a zero-copy columnar view; Edges
+// remains as the adapter for callers still on the boxed
+// representation (it is exactly Span().Pairs()).
 func (g *Graph) Edges() [][2]int {
-	out := make([][2]int, 0, g.NumEdges())
-	for i := 0; i < len(g.U); i += 2 {
-		out = append(out, [2]int{int(g.U[i]), int(g.V[i])})
-	}
-	return out
+	return g.Span().Pairs()
 }
 
 // EdgeBatches splits the edge list into k contiguous batches of
 // near-equal size (sizes differ by at most one, earlier batches get
-// the extra edges), preserving insertion order — the replay helper
-// behind the streaming backend: ccfind -batches, experiment E12, and
-// the batch-split-invariance tests. The batches are subslices of one
-// freshly built edge list (see Edges), so they are cheap but share a
-// backing array. k < 1 is treated as 1; if the graph has fewer than k
-// edges, fewer (possibly zero) batches are returned, none of them
-// empty.
+// the extra edges), preserving insertion order. The batch boundaries
+// are identical to SpanBatches' (both use the same splitting rule).
+// k < 1 is treated as 1; if the graph has fewer than k edges, fewer
+// (possibly zero) batches are returned, none of them empty.
+//
+// Deprecated: EdgeBatches materializes the whole edge list as
+// [][2]int before slicing it. Use SpanBatches, whose batches alias
+// the graph's arc columns with no copy at all; EdgeBatches remains as
+// the adapter for callers replaying through the [][2]int ingest
+// methods.
 func (g *Graph) EdgeBatches(k int) [][][2]int {
 	edges := g.Edges()
-	m := len(edges)
-	if k < 1 {
-		k = 1
-	}
-	if k > m {
-		k = m
-	}
-	out := make([][][2]int, 0, k)
-	for i, start := 0, 0; i < k; i++ {
-		size := m / k
-		if i < m%k {
-			size++
-		}
-		out = append(out, edges[start:start+size:start+size])
-		start += size
+	cuts := batchCuts(len(edges), k)
+	out := make([][][2]int, len(cuts)-1)
+	for i := range out {
+		out[i] = edges[cuts[i]:cuts[i+1]:cuts[i+1]]
 	}
 	return out
 }

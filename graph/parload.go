@@ -32,14 +32,33 @@ func ReadEdgeListParallel(r io.Reader, workers int) (*Graph, error) {
 	return ParseEdgeList(data, workers)
 }
 
-// ParseEdgeList is ReadEdgeListParallel over an in-memory buffer.
+// ParseEdgeList is ReadEdgeListParallel over an in-memory buffer. It
+// is a thin wrapper over ParseEdgeListSpan, which parses straight
+// into the columnar arc representation the Graph adopts without a
+// copy.
 func ParseEdgeList(data []byte, workers int) (*Graph, error) {
-	// The header is the first non-blank, non-comment line: "n m".
-	n, want, body, err := parseHeader(data)
+	n, span, err := ParseEdgeListSpan(data, workers)
 	if err != nil {
 		return nil, err
 	}
 	g := New(n)
+	g.U, g.V = span.U, span.V
+	return g, nil
+}
+
+// ParseEdgeListSpan parses the text edge-list format directly into an
+// arc-pair span and the vertex count it was validated against — the
+// columnar loader hook, sharing chunking, workers, and error
+// semantics with ParseEdgeList. The chunk parsers already emit arc
+// columns; this entry point hands them out without wrapping them in a
+// Graph, so streaming consumers can batch-ingest a parsed file with
+// no further conversion.
+func ParseEdgeListSpan(data []byte, workers int) (int, EdgeSpan, error) {
+	// The header is the first non-blank, non-comment line: "n m".
+	n, want, body, err := parseHeader(data)
+	if err != nil {
+		return 0, EdgeSpan{}, err
+	}
 
 	w := workers
 	if w <= 0 {
@@ -82,27 +101,28 @@ func ParseEdgeList(data []byte, workers int) (*Graph, error) {
 		}
 	}
 	if firstErr != nil {
-		return nil, fmt.Errorf("graph: line %d: %s", 1+lineOf(data, firstErr.off), firstErr.msg)
+		return 0, EdgeSpan{}, fmt.Errorf("graph: line %d: %s", 1+lineOf(data, firstErr.off), firstErr.msg)
 	}
 
+	var span EdgeSpan
 	if w == 1 {
-		g.U, g.V = chunks[0].u, chunks[0].v
+		span.U, span.V = chunks[0].u, chunks[0].v
 	} else {
 		total := 0
 		for i := range chunks {
 			total += len(chunks[i].u)
 		}
-		g.U = make([]int32, 0, total)
-		g.V = make([]int32, 0, total)
+		span.U = make([]int32, 0, total)
+		span.V = make([]int32, 0, total)
 		for i := range chunks {
-			g.U = append(g.U, chunks[i].u...)
-			g.V = append(g.V, chunks[i].v...)
+			span.U = append(span.U, chunks[i].u...)
+			span.V = append(span.V, chunks[i].v...)
 		}
 	}
-	if g.NumEdges() != want {
-		return nil, fmt.Errorf("graph: header declared %d edges, read %d", want, g.NumEdges())
+	if span.Len() != want {
+		return 0, EdgeSpan{}, fmt.Errorf("graph: header declared %d edges, read %d", want, span.Len())
 	}
-	return g, nil
+	return n, span, nil
 }
 
 // parseOffsetError is a parse failure at an absolute byte offset; the

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/graph"
 	"repro/internal/incremental"
 )
 
@@ -52,7 +53,10 @@ func NewIncremental(n int, opts ...Option) (*Incremental, error) {
 
 // AddEdges ingests one batch of undirected edges {v,w} and returns the
 // batch's statistics. Endpoints out of [0, N) are rejected before any
-// edge of the batch is applied.
+// edge of the batch is applied. AddEdges is the boxed-representation
+// adapter; batches that already live in a Graph or an EdgeSpan should
+// go through AddSpan, which reaches the union-find without copying or
+// widening a single edge.
 func (inc *Incremental) AddEdges(edges [][2]int) (BatchStats, error) {
 	inc.mu.Lock()
 	defer inc.mu.Unlock()
@@ -73,6 +77,35 @@ func (inc *Incremental) AddEdges(edges [][2]int) (BatchStats, error) {
 	}, nil
 }
 
+// AddSpan ingests one batch given as a columnar arc-pair span
+// (graph.EdgeSpan — typically a SpanBatches slice of a Graph, a
+// loader span, or graph.FromPairs output) and returns the batch's
+// statistics. This is the zero-copy ingest path: the span's int32
+// columns are sharded over the worker pool directly, so the whole
+// replay layer between the span and the union-find performs no
+// allocation and no per-edge conversion. Validation and snapshot
+// semantics match AddEdges: a span with an endpoint out of [0, N) is
+// rejected whole.
+func (inc *Incremental) AddSpan(span graph.EdgeSpan) (BatchStats, error) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	if inc.closed {
+		return BatchStats{}, fmt.Errorf("pramcc: AddSpan on closed Incremental")
+	}
+	start := time.Now()
+	snap, err := inc.eng.AddSpan(span)
+	if err != nil {
+		return BatchStats{}, fmt.Errorf("pramcc: %w", err)
+	}
+	return BatchStats{
+		Batch:      snap.Batches,
+		Edges:      span.Len(),
+		TotalEdges: snap.Edges,
+		Components: snap.Components,
+		Wall:       time.Since(start),
+	}, nil
+}
+
 // SameComponent reports whether v and w are connected by the edges of
 // all completed batches.
 func (inc *Incremental) SameComponent(v, w int) bool { return inc.eng.SameComponent(v, w) }
@@ -86,10 +119,19 @@ func (inc *Incremental) ComponentCount() int { return inc.eng.ComponentCount() }
 // each label is the minimum vertex id of its component — the same
 // canonical labeling BackendNative produces.
 func (inc *Incremental) Labels() []int32 {
-	s := inc.eng.Snapshot()
-	out := make([]int32, len(s.Labels))
-	copy(out, s.Labels)
-	return out
+	return inc.LabelsInto(nil)
+}
+
+// LabelsInto copies the current flattened labeling into dst, growing
+// it only when its capacity is short, and returns the filled slice —
+// the zero-allocation form of Labels for hot-path consumers polling
+// the labeling between batches: pass the previous call's return value
+// back in and steady state copies into the same buffer. The copy is
+// snapshot-consistent (one atomic snapshot read, then a plain copy)
+// and safe to call concurrently with an in-flight ingest, which it
+// never observes half-done. A nil dst simply allocates.
+func (inc *Incremental) LabelsInto(dst []int32) []int32 {
+	return labelsInto(dst, inc.eng.Snapshot().Labels)
 }
 
 // N returns the vertex count the handle was created with.

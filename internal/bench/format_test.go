@@ -114,8 +114,8 @@ func TestRenderTo(t *testing.T) {
 // structural check that ids, headers and rows stay consistent.)
 func TestExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
-		t.Fatalf("want 13 experiments, got %d", len(all))
+	if len(all) != 14 {
+		t.Fatalf("want 14 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for i, e := range all {
@@ -126,6 +126,15 @@ func TestExperimentsRegistered(t *testing.T) {
 			t.Fatalf("duplicate experiment id %s", e.ID)
 		}
 		seen[e.ID] = true
+	}
+	ids := IDs()
+	if len(ids) != len(all) {
+		t.Fatalf("IDs() returned %d ids for %d experiments", len(ids), len(all))
+	}
+	for i, e := range all {
+		if ids[i] != e.ID {
+			t.Fatalf("IDs()[%d] = %s, registry has %s", i, ids[i], e.ID)
+		}
 	}
 }
 

@@ -75,7 +75,7 @@ type Snapshot struct {
 
 // Engine is a concurrent union-find maintaining connected components
 // under streaming edge batches. Queries may run concurrently with one
-// AddEdges/AddGraph call; ingestion itself is single-writer.
+// AddEdges/AddGraph/AddSpan call; ingestion itself is single-writer.
 type Engine struct {
 	n      int
 	parent []int32 // CAS-only disjoint-set forest, parent[x] <= x
@@ -84,6 +84,23 @@ type Engine struct {
 
 	batches int
 	edges   int64
+
+	// Span-ingest state, written by the single writer between pool
+	// barriers only. The worker closures are bound once at
+	// construction so a steady-state span batch allocates nothing on
+	// the ingest path (the native.Engine discipline): spanWorker
+	// unions the columns of [spanU, spanV], pubWorker flattens the
+	// forest into pubLabels.
+	spanU, spanV []int32
+	spanTotal    int // edges (even arcs) in the current span
+	spanCtx      context.Context
+	spanCursor   atomic.Int64
+	spanWorker   func(int)
+
+	pubLabels []int32
+	pubRoots  atomic.Int64
+	pubCursor atomic.Int64
+	pubWorker func(int)
 }
 
 // New returns an engine over n isolated vertices with a live worker
@@ -94,6 +111,8 @@ func New(n int, opt Options) *Engine {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{pool: native.NewPool(workers)}
+	e.spanWorker = e.spanWork
+	e.pubWorker = e.pubWork
 	e.Reset(n)
 	return e
 }
@@ -239,18 +258,109 @@ func (e *Engine) AddGraph(g *graph.Graph) *Snapshot {
 }
 
 // AddGraphContext is AddGraph with the cancellation semantics of
-// AddEdgesContext.
+// AddEdgesContext. It rides the columnar span path: the graph's arc
+// columns are sharded over the pool directly, with no per-edge
+// accessor indirection and no validation pass (the graph's own
+// construction already guarantees its endpoints).
 func (e *Engine) AddGraphContext(ctx context.Context, g *graph.Graph) (*Snapshot, error) {
 	if g.N != e.n {
 		panic("incremental: graph vertex count mismatch")
 	}
-	// Arcs come in mirror pairs; arc 2i covers undirected edge i.
-	if err := e.ingest(ctx, g.NumEdges(), func(i int) (int32, int32) {
-		return g.U[2*i], g.V[2*i]
-	}); err != nil {
+	if err := e.ingestSpan(ctx, g.Span()); err != nil {
 		return nil, err
 	}
 	return e.publish(int64(g.NumEdges())), nil
+}
+
+// AddSpan ingests one batch given as a columnar arc-pair span and
+// publishes a new snapshot — the zero-copy twin of AddEdges: the
+// span's columns are sharded over the worker pool as-is, so a batch
+// sliced from a Graph (SpanBatches) or a loader span reaches the
+// union-find with no copy, no boxing, and no per-edge allocation. A
+// span with an even-arc endpoint outside [0, n) is rejected whole —
+// the error names the offending edge and nothing is applied.
+func (e *Engine) AddSpan(span graph.EdgeSpan) (*Snapshot, error) {
+	return e.AddSpanContext(context.Background(), span)
+}
+
+// AddSpanContext is AddSpan with the cancellation semantics of
+// AddEdgesContext: checked before any work and at every chunk
+// boundary; on cancellation no snapshot is published, and
+// re-submitting the span completes the cancelled batch exactly
+// (unions are idempotent).
+func (e *Engine) AddSpanContext(ctx context.Context, span graph.EdgeSpan) (*Snapshot, error) {
+	if err := e.validateSpan(span); err != nil {
+		return nil, err
+	}
+	if err := e.ingestSpan(ctx, span); err != nil {
+		return nil, err
+	}
+	return e.publish(int64(span.Len())), nil
+}
+
+// validateSpan rejects spans the forest cannot absorb: mismatched or
+// odd columns, and even-arc endpoints outside [0, n). Mirror arcs are
+// not consulted — ingest reads only the even arcs, exactly as the
+// graph path does — so their consistency is the caller's contract,
+// not a correctness requirement here.
+func (e *Engine) validateSpan(span graph.EdgeSpan) error {
+	if len(span.U) != len(span.V) {
+		return fmt.Errorf("incremental: span columns have different lengths %d, %d", len(span.U), len(span.V))
+	}
+	if len(span.U)%2 != 0 {
+		return fmt.Errorf("incremental: span has odd arc count %d, arcs must come in mirror pairs", len(span.U))
+	}
+	n := uint32(e.n)
+	for i := 0; i < len(span.U); i += 2 {
+		if uint32(span.U[i]) >= n || uint32(span.V[i]) >= n {
+			return fmt.Errorf("incremental: span edge %d = {%d,%d} out of range [0,%d)", i/2, span.U[i], span.V[i], e.n)
+		}
+	}
+	return nil
+}
+
+// ingestSpan shards the span's edge range over the pool through the
+// pre-bound spanWorker, so a steady-state batch performs zero
+// allocations between validation and publish. Writer-only, like
+// ingest.
+func (e *Engine) ingestSpan(ctx context.Context, span graph.EdgeSpan) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if span.Len() == 0 {
+		return nil
+	}
+	e.spanU, e.spanV = span.U, span.V
+	e.spanTotal = span.Len()
+	e.spanCtx = ctx
+	e.spanCursor.Store(0)
+	e.pool.Run(e.spanWorker)
+	e.spanU, e.spanV, e.spanCtx = nil, nil, nil
+	return ctx.Err()
+}
+
+// spanWork is the per-goroutine body of a span ingest: claim
+// grain-sized edge chunks off the shared cursor and union the even
+// arcs straight out of the columns.
+func (e *Engine) spanWork(int) {
+	u, v := e.spanU, e.spanV
+	ctx, total := e.spanCtx, e.spanTotal
+	for ctx.Err() == nil {
+		lo := int(e.spanCursor.Add(grain)) - grain
+		if lo >= total {
+			return
+		}
+		hi := lo + grain
+		if hi > total {
+			hi = total
+		}
+		for i := lo; i < hi; i++ {
+			e.union(u[2*i], v[2*i])
+		}
+	}
 }
 
 // ingest shards [0, total) over the pool and unions each edge,
@@ -287,44 +397,55 @@ func (e *Engine) ingest(ctx context.Context, total int, edge func(i int) (int32,
 
 // publish flattens the forest into a fresh snapshot. It runs after the
 // ingest barrier, so every tree is stable: finds during the flatten
-// only compress paths, never change roots.
+// only compress paths, never change roots. The labels slice and the
+// Snapshot itself are the only allocations of a whole batch on the
+// span path — inherent to immutable snapshot publication, since
+// earlier snapshots stay queryable forever.
 func (e *Engine) publish(edges int64) *Snapshot {
 	e.batches++
 	e.edges += edges
 	labels := make([]int32, e.n)
-	var roots atomic.Int64
-	var cursor atomic.Int64
-	e.pool.Run(func(int) {
-		local := int64(0)
-		for {
-			lo := int(cursor.Add(grain)) - grain
-			if lo >= e.n {
-				break
-			}
-			hi := lo + grain
-			if hi > e.n {
-				hi = e.n
-			}
-			for v := lo; v < hi; v++ {
-				r := e.find(int32(v))
-				labels[v] = r
-				if r == int32(v) {
-					local++
-				}
-			}
-		}
-		if local != 0 {
-			roots.Add(local)
-		}
-	})
+	e.pubLabels = labels
+	e.pubRoots.Store(0)
+	e.pubCursor.Store(0)
+	e.pool.Run(e.pubWorker)
+	e.pubLabels = nil
 	s := &Snapshot{
 		Labels:     labels,
-		Components: int(roots.Load()),
+		Components: int(e.pubRoots.Load()),
 		Batches:    e.batches,
 		Edges:      e.edges,
 	}
 	e.snap.Store(s)
 	return s
+}
+
+// pubWork is the per-goroutine body of a publish flatten: claim
+// grain-sized vertex chunks, resolve each vertex's root into the
+// labels being published, and count the roots seen.
+func (e *Engine) pubWork(int) {
+	labels := e.pubLabels
+	local := int64(0)
+	for {
+		lo := int(e.pubCursor.Add(grain)) - grain
+		if lo >= e.n {
+			break
+		}
+		hi := lo + grain
+		if hi > e.n {
+			hi = e.n
+		}
+		for v := lo; v < hi; v++ {
+			r := e.find(int32(v))
+			labels[v] = r
+			if r == int32(v) {
+				local++
+			}
+		}
+	}
+	if local != 0 {
+		e.pubRoots.Add(local)
+	}
 }
 
 // find returns the root of x with path splitting: each visited node is

@@ -1,0 +1,9 @@
+//go:build !race
+
+package incremental
+
+// raceEnabled reports whether the race detector instruments this
+// build. The zero-allocation regression tests consult it: the
+// detector's shadow-memory bookkeeping shows up in allocation counts,
+// so the exact-zero assertions only run on uninstrumented builds.
+const raceEnabled = false

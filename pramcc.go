@@ -92,6 +92,21 @@ func countLabels(labels []int32) int {
 	return count
 }
 
+// labelsInto copies src into dst, growing dst only when its capacity
+// is short, and returns the filled slice — the grow-or-reuse core
+// shared by the zero-alloc LabelsInto query methods of Incremental
+// and Service. src is an immutable published labeling, so a plain
+// copy after the caller's one atomic snapshot read is
+// snapshot-consistent.
+func labelsInto(dst, src []int32) []int32 {
+	if cap(dst) < len(src) {
+		dst = make([]int32, len(src))
+	}
+	dst = dst[:len(src)]
+	copy(dst, src)
+	return dst
+}
+
 func countLabelsGeneric(labels []int32) int {
 	seen := make(map[int32]struct{})
 	for _, l := range labels {

@@ -54,11 +54,14 @@ type streamEngine interface {
 	restore(labels []int32)
 	// grow extends the vertex set to n, preserving components.
 	grow(n int)
-	// ingest unions one batch into the live labeling and fills out
-	// with the freshly published snapshot, returning its component
-	// count. On a cancelled ctx the previously published labeling
-	// stays in effect and ctx.Err() is returned.
-	ingest(ctx context.Context, edges [][2]int, out *solveOutput) (int, error)
+	// ingest unions one batch — a columnar arc-pair span, the
+	// zero-copy interchange representation of the whole pipeline —
+	// into the live labeling and fills out with the freshly published
+	// snapshot, returning its component count. On a cancelled ctx the
+	// previously published labeling stays in effect and ctx.Err() is
+	// returned. [][2]int callers adapt through graph.FromPairs at the
+	// public-API boundary (Service.Ingest), not here.
+	ingest(ctx context.Context, span graph.EdgeSpan, out *solveOutput) (int, error)
 }
 
 // backendInfo is one registry entry: the Backend value, its canonical
@@ -256,8 +259,8 @@ func (e *incrementalEngine) restore(labels []int32) { e.eng.RestoreLabels(labels
 
 func (e *incrementalEngine) grow(n int) { e.eng.Grow(n) }
 
-func (e *incrementalEngine) ingest(ctx context.Context, edges [][2]int, out *solveOutput) (int, error) {
-	snap, err := e.eng.AddEdgesContext(ctx, edges)
+func (e *incrementalEngine) ingest(ctx context.Context, span graph.EdgeSpan, out *solveOutput) (int, error) {
+	snap, err := e.eng.AddSpanContext(ctx, span)
 	if err != nil {
 		return 0, err
 	}

@@ -9,15 +9,18 @@
 # The baseline (internal/bench/testdata/baseline.txt) is updated
 # intentionally — never by CI — so benchstat diffs against it show the
 # cumulative drift of the backends (BackendSimulated vs BackendNative
-# vs BackendIncremental) and of the graph loaders (sequential text vs
-# parallel text vs binary) since the last deliberate refresh. Comparison uses benchstat when installed
+# vs BackendIncremental), of the graph loaders (sequential text vs
+# parallel text vs binary), and of the streaming replay paths
+# (columnar BenchmarkIngestSpan vs boxed BenchmarkIngestPairs, plus
+# their engine-level BenchmarkEngineIngest* twins) since the last
+# deliberate refresh. Comparison uses benchstat when installed
 # (go install golang.org/x/perf/cmd/benchstat@latest) and falls back to
 # printing both result sets side by side when not.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
-BENCH="${BENCH:-BenchmarkComponentsBackends|BenchmarkSolverReuse|BenchmarkNative|BenchmarkIncremental|BenchmarkLoad|BenchmarkWriteBinary}"
+BENCH="${BENCH:-BenchmarkComponentsBackends|BenchmarkSolverReuse|BenchmarkNative|BenchmarkIncremental|BenchmarkIngest|BenchmarkEngineIngest|BenchmarkLoad|BenchmarkWriteBinary}"
 BASELINE=internal/bench/testdata/baseline.txt
 CURRENT="$(mktemp /tmp/bench_current.XXXXXX.txt)"
 trap 'rm -f "$CURRENT"' EXIT

@@ -100,7 +100,35 @@ func (sv *Service) Update(ctx context.Context, g *graph.Graph) (*Result, error) 
 // first. On a cancelled ctx no snapshot is published; because unions
 // are idempotent, re-submitting the same batch completes the cancelled
 // one exactly.
+//
+// Ingest is the [][2]int adapter over IngestSpan: the batch is
+// validated and converted to a columnar span (one Θ(batch) copy)
+// before entering the zero-copy pipeline. Callers replaying edges
+// that already live in a Graph or a loader span should call
+// IngestSpan and skip the conversion entirely.
 func (sv *Service) Ingest(ctx context.Context, edges [][2]int) (*Result, error) {
+	// Validate as ints before the int32 conversion narrows them: an
+	// endpoint beyond int32 must be rejected here, not truncated into
+	// an accidentally-valid vertex.
+	n := sv.N()
+	for i, e := range edges {
+		if e[0] < 0 || e[1] < 0 || e[0] >= n || e[1] >= n {
+			return nil, fmt.Errorf("pramcc: incremental: batch edge %d = {%d,%d} out of range [0,%d)", i, e[0], e[1], n)
+		}
+	}
+	return sv.IngestSpan(ctx, graph.FromPairs(edges))
+}
+
+// IngestSpan is the zero-copy form of Ingest: the batch arrives as a
+// columnar arc-pair span (graph.EdgeSpan — typically a SpanBatches
+// slice of a Graph, a loader span, or FromPairs output) and is
+// sharded over the engine's worker pool directly from its columns.
+// Nothing is copied or boxed between here and the union-find, so
+// replaying a resident graph through the service allocates only the
+// published snapshots. Semantics are exactly Ingest's: whole-batch
+// validation, snapshot-consistent publication, idempotent completion
+// after cancellation.
+func (sv *Service) IngestSpan(ctx context.Context, span graph.EdgeSpan) (*Result, error) {
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
 	if sv.closed {
@@ -118,7 +146,7 @@ func (sv *Service) Ingest(ctx context.Context, edges [][2]int) (*Result, error) 
 	}
 	start := time.Now()
 	var out solveOutput
-	components, err := st.ingest(ctx, edges, &out)
+	components, err := st.ingest(ctx, span, &out)
 	if err != nil {
 		return nil, err
 	}
@@ -192,6 +220,19 @@ func (sv *Service) N() int { return len(sv.snap.Load().Labels) }
 // Labels returns a copy of the published labeling.
 func (sv *Service) Labels() []int32 {
 	return append([]int32(nil), sv.snap.Load().Labels...)
+}
+
+// LabelsInto copies the published labeling into dst, growing it only
+// when its capacity is short, and returns the filled slice — the
+// zero-allocation form of Labels for callers polling the labeling on
+// a hot path: pass the previous call's return value back in and
+// steady state copies into the same buffer. The copy is
+// snapshot-consistent (one atomic snapshot read, then a plain copy —
+// never a half-published labeling) and, like every query, safe to
+// call concurrently with writers. A nil dst simply allocates, making
+// LabelsInto(nil) equivalent to Labels.
+func (sv *Service) LabelsInto(dst []int32) []int32 {
+	return labelsInto(dst, sv.snap.Load().Labels)
 }
 
 // Backend returns the execution backend behind the service.

@@ -1,0 +1,320 @@
+package pramcc
+
+import (
+	"context"
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+
+	"repro/graph"
+	"repro/internal/check"
+)
+
+// FuzzSpanPairEquivalence: for an arbitrary multigraph and an
+// arbitrary batch split, the three ways of reaching a labeling — the
+// columnar span replay (AddSpan), the boxed pair replay (AddEdges),
+// and a one-shot native solve — must agree exactly (all three
+// canonicalize to component minima, so equality is elementwise, not
+// merely up-to-relabeling).
+func FuzzSpanPairEquivalence(f *testing.F) {
+	f.Add(uint16(10), uint16(20), int64(1), uint64(1))
+	f.Add(uint16(100), uint16(50), int64(2), uint64(7))
+	f.Add(uint16(1), uint16(0), int64(3), uint64(9))
+	f.Add(uint16(300), uint16(2000), int64(4), uint64(3))
+	f.Fuzz(func(t *testing.T, nRaw, mRaw uint16, gseed int64, splitSeed uint64) {
+		n := int(nRaw%400) + 1
+		m := int(mRaw % 1500)
+		g := graph.Gnm(n, m, gseed)
+
+		nat, err := Components(g, WithBackend(BackendNative))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := check.Components(g, nat.Labels); err != nil {
+			t.Fatal(err)
+		}
+
+		// Random contiguous cut points, shared by both replays.
+		rng := rand.New(rand.NewSource(int64(splitSeed)))
+		var cuts []int
+		for lo := 0; lo < m; {
+			hi := lo + 1 + rng.Intn(m-lo)
+			cuts = append(cuts, hi)
+			lo = hi
+		}
+
+		spanInc, err := NewIncremental(g.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer spanInc.Close()
+		pairInc, err := NewIncremental(g.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pairInc.Close()
+
+		span := g.Span()
+		edges := g.Edges()
+		lo := 0
+		for _, hi := range cuts {
+			if _, err := spanInc.AddSpan(span.Slice(lo, hi)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := pairInc.AddEdges(edges[lo:hi]); err != nil {
+				t.Fatal(err)
+			}
+			lo = hi
+		}
+
+		spanLabels := spanInc.LabelsInto(nil)
+		pairLabels := pairInc.Labels()
+		if !slices.Equal(spanLabels, nat.Labels) {
+			t.Fatalf("span labels differ from native: %v vs %v", spanLabels, nat.Labels)
+		}
+		if !slices.Equal(pairLabels, nat.Labels) {
+			t.Fatalf("pair labels differ from native: %v vs %v", pairLabels, nat.Labels)
+		}
+	})
+}
+
+// TestIncrementalSpanConcurrentReaders is the -race stress of the
+// span pipeline: reader goroutines hammer SameComponent and the
+// zero-alloc LabelsInto (each reusing its own buffer) while the
+// writer loops span batches. The race detector is the main
+// assertion; each observed labeling must also be internally
+// consistent (a prefix of the stream, so labels ≤ vertex ids and
+// components only merge).
+func TestIncrementalSpanConcurrentReaders(t *testing.T) {
+	g := graph.Gnm(4000, 20000, 77)
+	inc, err := NewIncremental(g.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inc.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var buf []int32
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				buf = inc.LabelsInto(buf)
+				for v, l := range buf {
+					if int(l) > v {
+						t.Errorf("label[%d] = %d exceeds vertex id", v, l)
+						return
+					}
+				}
+				_ = inc.SameComponent((r+i)%g.N, g.N-1-r)
+			}
+		}(r)
+	}
+	for _, batch := range g.SpanBatches(50) {
+		if _, err := inc.AddSpan(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	nat, err := Components(g, WithBackend(BackendNative))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(inc.Labels(), nat.Labels) {
+		t.Fatal("final span-replayed labels differ from native")
+	}
+}
+
+// TestServiceIngestSpan: the zero-copy service path equals the boxed
+// path and the one-shot native solve, and concurrent LabelsInto
+// readers stay consistent during the span-ingest loop.
+func TestServiceIngestSpan(t *testing.T) {
+	g := graph.Gnm(3000, 12000, 13)
+	sv, err := NewService(g.N, WithBackend(BackendIncremental))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var buf []int32
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			buf = sv.LabelsInto(buf)
+			if len(buf) != g.N {
+				t.Errorf("LabelsInto returned %d labels, want %d", len(buf), g.N)
+				return
+			}
+			_ = sv.SameComponent(0, g.N-1)
+		}
+	}()
+
+	var last *Result
+	for _, batch := range g.SpanBatches(20) {
+		res, err := sv.IngestSpan(context.Background(), batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res
+	}
+	close(stop)
+	wg.Wait()
+
+	nat, err := Components(g, WithBackend(BackendNative))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(last.Labels, nat.Labels) {
+		t.Fatal("IngestSpan labels differ from native")
+	}
+	if last.NumComponents != nat.NumComponents {
+		t.Fatalf("IngestSpan components = %d, native %d", last.NumComponents, nat.NumComponents)
+	}
+}
+
+// TestServiceIngestSpanErrors: malformed spans are rejected whole
+// with the snapshot untouched; non-streaming backends refuse.
+func TestServiceIngestSpanErrors(t *testing.T) {
+	sv, err := NewService(4, WithBackend(BackendIncremental))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Close()
+	before := sv.Snapshot()
+	if _, err := sv.IngestSpan(context.Background(), graph.FromPairs([][2]int{{0, 9}})); err == nil {
+		t.Fatal("out-of-range span accepted")
+	}
+	if sv.Snapshot() != before {
+		t.Fatal("rejected span advanced the snapshot")
+	}
+
+	nat, err := NewService(4, WithBackend(BackendNative))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nat.Close()
+	if _, err := nat.IngestSpan(context.Background(), graph.FromPairs([][2]int{{0, 1}})); err == nil {
+		t.Fatal("IngestSpan on a non-streaming backend accepted")
+	}
+}
+
+// TestServiceIngestRejectsOverflowingEndpoint pins the adapter's
+// truncation guard: an endpoint beyond int32 must be rejected as out
+// of range, never silently narrowed into an accidentally-valid
+// vertex (1<<32 truncates to 0).
+func TestServiceIngestRejectsOverflowingEndpoint(t *testing.T) {
+	sv, err := NewService(4, WithBackend(BackendIncremental))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Close()
+	if _, err := sv.Ingest(context.Background(), [][2]int{{1 << 32, 1}}); err == nil {
+		t.Fatal("endpoint 1<<32 accepted (silent int32 truncation)")
+	}
+	if sv.SameComponent(0, 1) {
+		t.Fatal("truncated edge was applied")
+	}
+}
+
+// TestIncrementalAddSpanStats: BatchStats bookkeeping on the span
+// path matches the pair path's, and AddSpan on a closed handle
+// errors.
+func TestIncrementalAddSpanStats(t *testing.T) {
+	g := graph.Gnm(500, 2000, 5)
+	inc, err := NewIncremental(g.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := g.SpanBatches(4)
+	var total int64
+	for i, b := range batches {
+		bs, err := inc.AddSpan(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += int64(b.Len())
+		if bs.Batch != i+1 || bs.Edges != b.Len() || bs.TotalEdges != total {
+			t.Fatalf("batch %d stats: %+v", i, bs)
+		}
+	}
+	if inc.EdgeCount() != int64(g.NumEdges()) {
+		t.Fatalf("EdgeCount = %d, want %d", inc.EdgeCount(), g.NumEdges())
+	}
+	inc.Close()
+	if _, err := inc.AddSpan(batches[0]); err == nil {
+		t.Fatal("AddSpan on closed handle accepted")
+	}
+}
+
+// TestLabelsInto: buffer reuse semantics on both handles — a big
+// enough buffer is reused in place, a short one is replaced, nil
+// allocates — and the steady state allocates nothing.
+func TestLabelsInto(t *testing.T) {
+	g := graph.Gnm(1000, 3000, 9)
+	inc, err := NewIncremental(g.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inc.Close()
+	if _, err := inc.AddSpan(g.Span()); err != nil {
+		t.Fatal(err)
+	}
+
+	want := inc.Labels()
+	buf := make([]int32, 0, g.N)
+	got := inc.LabelsInto(buf)
+	if !slices.Equal(got, want) {
+		t.Fatal("LabelsInto differs from Labels")
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("LabelsInto did not reuse a big-enough buffer")
+	}
+	if short := inc.LabelsInto(make([]int32, 1)); !slices.Equal(short, want) {
+		t.Fatal("LabelsInto with a short buffer differs")
+	}
+	if fromNil := inc.LabelsInto(nil); !slices.Equal(fromNil, want) {
+		t.Fatal("LabelsInto(nil) differs")
+	}
+
+	if !raceEnabled {
+		if avg := testing.AllocsPerRun(10, func() { got = inc.LabelsInto(got) }); avg != 0 {
+			t.Fatalf("steady-state LabelsInto allocates %.1f times, want 0", avg)
+		}
+	}
+
+	sv, err := NewService(g.N, WithBackend(BackendIncremental))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Close()
+	if _, err := sv.IngestSpan(context.Background(), g.Span()); err != nil {
+		t.Fatal(err)
+	}
+	svBuf := sv.LabelsInto(nil)
+	if !slices.Equal(svBuf, sv.Labels()) {
+		t.Fatal("Service.LabelsInto differs from Service.Labels")
+	}
+	if !raceEnabled {
+		if avg := testing.AllocsPerRun(10, func() { svBuf = sv.LabelsInto(svBuf) }); avg != 0 {
+			t.Fatalf("steady-state Service.LabelsInto allocates %.1f times, want 0", avg)
+		}
+	}
+}
