@@ -195,6 +195,33 @@ func BenchmarkIngestSpan(b *testing.B) {
 	b.ReportMetric(float64(g.NumEdges())*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
 }
 
+// BenchmarkIngestSpanInstrumented is BenchmarkIngestSpan with the JSON
+// event sink attached and draining to io.Discard — the fully
+// instrumented configuration, the worst case E15 sweeps. The delta
+// against BenchmarkIngestSpan is the whole cost of observability with
+// a sink (envelope construction + JSON encoding per batch); without a
+// sink the cost is zero by construction (TestSpanIngestZeroAlloc).
+func BenchmarkIngestSpanInstrumented(b *testing.B) {
+	g := ingestBenchGraph()
+	pramcc.SetEventSink(pramcc.NewJSONEventSink(io.Discard))
+	defer pramcc.SetEventSink(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inc, err := pramcc.NewIncremental(g.N)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, batch := range g.SpanBatches(16) {
+			if _, err := inc.AddSpan(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		inc.Close()
+	}
+	b.ReportMetric(float64(g.NumEdges())*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
 func BenchmarkIngestPairs(b *testing.B) {
 	g := ingestBenchGraph()
 	b.ReportAllocs()

@@ -10,7 +10,7 @@
 // throughput, E14 the columnar span replay against the boxed [][2]int
 // replay on ingest throughput;
 //
-//	ccbench -experiment E11,E12,E13,E14 -format json > BENCH_$(date +%Y%m%d).json
+//	ccbench -experiment E11,E12,E13,E14,E15 -format json > BENCH_$(date +%Y%m%d).json
 //
 // snapshots them as the machine-readable artifact tracked across
 // commits. E13 defaults to generated workloads; -graph FILE points it

@@ -1,0 +1,39 @@
+// Command ccserve wraps a pramcc.Service in an operations-grade HTTP
+// listener: the seed of the ROADMAP's sharded network front end, and
+// the surface OPERATIONS.md documents.
+//
+// Usage:
+//
+//	ccserve [-addr :8080] [-backend incremental] [-n N] [-workers W]
+//	        [-graph file] [-events file|stderr] [-list-metrics]
+//
+// Endpoints:
+//
+//	GET  /healthz       liveness: {"status":"ok",...}
+//	GET  /metrics       every registered metric, Prometheus text format
+//	     /debug/pprof/  net/http/pprof profiles (heap, profile, trace, ...)
+//	POST /v1/ingest     {"edges":[[u,v],...]} -> streaming ingest (incremental backend)
+//	POST /v1/grow       {"n":N} -> extend the vertex set
+//	GET  /v1/same?u=&v= same-component query from the published snapshot
+//	GET  /v1/stats      published-snapshot statistics
+//
+// -graph preloads an edge-list or binary graph file via Update before
+// serving. -events attaches the JSON event sink, so every engine
+// round/batch boundary and every serve call is logged as one JSON line
+// (with the corresponding throughput cost; see EXPERIMENTS.md E15).
+// -list-metrics prints the registered metric names and exits — the
+// generated list scripts/check_docs.sh compares OPERATIONS.md against.
+package main
+
+import (
+	"log"
+	"os"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ccserve: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,214 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	pramcc "repro"
+	"repro/graph"
+	"repro/internal/obs"
+)
+
+// ccserve's own serving metrics, registered once per process alongside
+// the library's (duplicate registration panics, so these live at
+// package scope, not in run).
+var (
+	mHTTPRequests = obs.Default.Counter("pramcc_http_requests_total",
+		"HTTP requests served by ccserve (all endpoints)")
+	mHTTPErrors = obs.Default.Counter("pramcc_http_errors_total",
+		"HTTP requests ccserve answered with a 4xx/5xx status")
+)
+
+// run parses args and either prints the metric-name list or serves;
+// factored out of main for testing (the HTTP surface itself is tested
+// through newHandler with httptest, without binding a port).
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ccserve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "ops HTTP listen address")
+	var backend pramcc.Backend
+	fs.TextVar(&backend, "backend", pramcc.BackendIncremental,
+		"service backend: "+strings.Join(pramcc.BackendNames(), ", ")+
+			" (streaming ingest and grow need incremental)")
+	n := fs.Int("n", 0, "initial vertex count (ignored when -graph sets the vertex set)")
+	workers := fs.Int("workers", 0, "worker goroutines for solves and ingests (0 = GOMAXPROCS)")
+	graphPath := fs.String("graph", "", "preload a graph file (text edge list or binary) via Update before serving")
+	events := fs.String("events", "", "attach the JSON event sink: a file path, or \"stderr\"")
+	listMetrics := fs.Bool("list-metrics", false, "print the registered metric names, one per line, and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *listMetrics {
+		for _, name := range pramcc.MetricNames() {
+			fmt.Fprintln(out, name)
+		}
+		return nil
+	}
+
+	if *events != "" {
+		w := io.Writer(os.Stderr)
+		if *events != "stderr" {
+			f, err := os.Create(*events)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		pramcc.SetEventSink(pramcc.NewJSONEventSink(w))
+		defer pramcc.SetEventSink(nil)
+	}
+
+	sv, err := pramcc.NewService(*n,
+		pramcc.WithBackend(backend), pramcc.WithWorkers(*workers))
+	if err != nil {
+		return err
+	}
+	defer sv.Close()
+
+	if *graphPath != "" {
+		f, err := os.Open(*graphPath)
+		if err != nil {
+			return err
+		}
+		g, err := graph.ReadAuto(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		res, err := sv.Update(nil, g)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "preloaded %s: n=%d m=%d components=%d wall=%v\n",
+			*graphPath, g.N, g.NumEdges(), res.NumComponents, res.Stats.Wall)
+	}
+
+	fmt.Fprintf(out, "serving backend=%v n=%d on http://%s (endpoints: /healthz /metrics /debug/pprof/ /v1/...)\n",
+		backend, sv.N(), *addr)
+	srv := &http.Server{Addr: *addr, Handler: newHandler(sv)}
+	return srv.ListenAndServe()
+}
+
+// newHandler builds the full ops surface over sv: health, metrics,
+// pprof, and the JSON serving endpoints.
+func newHandler(sv *pramcc.Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", counted(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":     "ok",
+			"backend":    sv.Backend().String(),
+			"n":          sv.N(),
+			"components": sv.NumComponents(),
+		})
+	}))
+	mux.HandleFunc("/metrics", counted(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := pramcc.WriteMetrics(w); err != nil {
+			mHTTPErrors.Inc()
+		}
+	}))
+	// net/http/pprof registers on http.DefaultServeMux as a side effect
+	// of its import; wire its handlers into our mux explicitly so the
+	// profiles are served regardless of which mux the server uses.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/v1/ingest", counted(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req struct {
+			Edges [][2]int `json:"edges"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad body: "+err.Error())
+			return
+		}
+		start := time.Now()
+		res, err := sv.Ingest(r.Context(), req.Edges)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"edges":      len(req.Edges),
+			"components": res.NumComponents,
+			"wall_ms":    float64(time.Since(start).Nanoseconds()) / 1e6,
+		})
+	}))
+	mux.HandleFunc("/v1/grow", counted(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req struct {
+			N int `json:"n"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad body: "+err.Error())
+			return
+		}
+		if err := sv.Grow(req.N); err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"n":          sv.N(),
+			"components": sv.NumComponents(),
+		})
+	}))
+	mux.HandleFunc("/v1/same", counted(func(w http.ResponseWriter, r *http.Request) {
+		u, errU := strconv.Atoi(r.URL.Query().Get("u"))
+		v, errV := strconv.Atoi(r.URL.Query().Get("v"))
+		if errU != nil || errV != nil {
+			httpError(w, http.StatusBadRequest, "need integer query params u and v")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"u": u, "v": v, "same": sv.SameComponent(u, v),
+		})
+	}))
+	mux.HandleFunc("/v1/stats", counted(func(w http.ResponseWriter, r *http.Request) {
+		snap := sv.Snapshot()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"backend":    sv.Backend().String(),
+			"n":          len(snap.Labels),
+			"components": snap.NumComponents,
+			"rounds":     snap.Stats.Rounds,
+			"workers":    snap.Stats.Workers,
+			"wall_ms":    float64(snap.Stats.Wall.Nanoseconds()) / 1e6,
+		})
+	}))
+	return mux
+}
+
+// counted wraps a handler with the request counter.
+func counted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		mHTTPRequests.Inc()
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	mHTTPErrors.Inc()
+	writeJSON(w, code, map[string]any{"error": msg})
+}

@@ -1,0 +1,260 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	pramcc "repro"
+)
+
+func TestListMetrics(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list-metrics"}, &out); err != nil {
+		t.Fatalf("run -list-metrics: %v", err)
+	}
+	names := strings.Fields(out.String())
+	if len(names) == 0 {
+		t.Fatal("no metric names printed")
+	}
+	want := map[string]bool{
+		"pramcc_ingest_edges_total":  false,
+		"pramcc_snapshot_seq":        false,
+		"pramcc_http_requests_total": false,
+		"pramcc_pool_workers":        false,
+	}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("metric %s missing from -list-metrics output", n)
+		}
+	}
+}
+
+func TestUnknownFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("expected error for unknown flag")
+	}
+}
+
+// newTestServer builds the ops surface over a fresh incremental
+// service, as run does, but on an httptest listener.
+func newTestServer(t *testing.T, n int) (*httptest.Server, *pramcc.Service) {
+	t.Helper()
+	sv, err := pramcc.NewService(n, pramcc.WithBackend(pramcc.BackendIncremental))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sv.Close)
+	ts := httptest.NewServer(newHandler(sv))
+	t.Cleanup(ts.Close)
+	return ts, sv
+}
+
+func getJSON(t *testing.T, url string, into any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t, 4)
+	var h struct {
+		Status     string `json:"status"`
+		Backend    string `json:"backend"`
+		N          int    `json:"n"`
+		Components int    `json:"components"`
+	}
+	resp := getJSON(t, ts.URL+"/healthz", &h)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if h.Status != "ok" || h.Backend != "incremental" || h.N != 4 || h.Components != 4 {
+		t.Fatalf("unexpected health: %+v", h)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, 4)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(b)
+	for _, want := range []string{
+		"# TYPE pramcc_ingest_edges_total counter",
+		"# TYPE pramcc_snapshot_seq gauge",
+		"# TYPE pramcc_ingest_duration_seconds histogram",
+		"pramcc_http_requests_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestIngestSameStatsRoundTrip(t *testing.T) {
+	ts, _ := newTestServer(t, 6)
+
+	resp, err := http.Post(ts.URL+"/v1/ingest", "application/json",
+		strings.NewReader(`{"edges":[[0,1],[1,2],[3,4]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ing struct {
+		Edges      int `json:"edges"`
+		Components int `json:"components"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ing.Edges != 3 || ing.Components != 3 {
+		t.Fatalf("ingest status=%d resp=%+v", resp.StatusCode, ing)
+	}
+
+	var same struct {
+		Same bool `json:"same"`
+	}
+	getJSON(t, ts.URL+"/v1/same?u=0&v=2", &same)
+	if !same.Same {
+		t.Error("0 and 2 should be connected")
+	}
+	getJSON(t, ts.URL+"/v1/same?u=0&v=5", &same)
+	if same.Same {
+		t.Error("0 and 5 should not be connected")
+	}
+
+	var stats struct {
+		N          int `json:"n"`
+		Components int `json:"components"`
+	}
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.N != 6 || stats.Components != 3 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+func TestGrowEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, 2)
+	resp, err := http.Post(ts.URL+"/v1/grow", "application/json",
+		strings.NewReader(`{"n":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g struct {
+		N          int `json:"n"`
+		Components int `json:"components"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&g); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if g.N != 5 || g.Components != 5 {
+		t.Fatalf("grow resp %+v", g)
+	}
+}
+
+func TestIngestRejectsBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t, 4)
+	before := readCounter(t, ts, "pramcc_http_errors_total")
+
+	// Wrong method.
+	resp := getJSON(t, ts.URL+"/v1/ingest", nil)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET ingest status %d", resp.StatusCode)
+	}
+	// Malformed body.
+	resp2, err := http.Post(ts.URL+"/v1/ingest", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body status %d", resp2.StatusCode)
+	}
+	// Out-of-range edge.
+	resp3, err := http.Post(ts.URL+"/v1/ingest", "application/json",
+		strings.NewReader(`{"edges":[[0,99]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("out-of-range status %d", resp3.StatusCode)
+	}
+
+	if after := readCounter(t, ts, "pramcc_http_errors_total"); after < before+3 {
+		t.Errorf("pramcc_http_errors_total = %g, want >= %g", after, before+3)
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	ts, _ := newTestServer(t, 1)
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "goroutine") {
+		t.Error("pprof index does not list profiles")
+	}
+}
+
+// readCounter scrapes /metrics and returns the named sample's value.
+func readCounter(t *testing.T, ts *httptest.Server, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			var v float64
+			if _, err := fmt.Sscanf(line[len(name)+1:], "%g", &v); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in scrape", name)
+	return 0
+}

@@ -44,7 +44,8 @@
 //	ConnectedComponents(g, opts...) →  solver.Solve(ctx, g)       (simulated backend, the default)
 //	SpanningForest(g, opts...)      →  solver.SpanningForest(ctx, g)
 //	Components per query cycle      →  service.Update(ctx, g) + service.SameComponent(v, w)
-//	Incremental + AddEdges          →  service.Ingest(ctx, batch) (NewService(n, WithBackend(BackendIncremental)); zero-copy form: service.IngestSpan(ctx, span))
+//	Incremental + AddSpan           →  service.IngestSpan(ctx, span) (NewService(n, WithBackend(BackendIncremental)))
+//	Incremental + AddEdges          →  service.Ingest(ctx, pairs)   (the kept [][2]int adapter over the span path)
 //
 // # Three execution backends
 //
@@ -98,6 +99,25 @@
 // validating adapters over graph.FromPairs for callers assembling
 // edges ad hoc; Labels copies, while LabelsInto refills a
 // caller-owned buffer allocation-free.
+//
+// # Observability
+//
+// The stack is instrumented on two always-compatible tiers. Counters,
+// gauges, and duration histograms (spans/edges ingested, ingest
+// throughput, snapshot age/sequence, update latency, worker-pool
+// occupancy) are always on — each a single atomic add — and are
+// rendered in Prometheus text exposition format by WriteMetrics;
+// MetricNames enumerates the registry. Structured events are opt-in:
+// SetEventSink attaches a process-wide EventSink (NewJSONEventSink
+// writes one JSON object per line) and turns on Event envelopes —
+// source/category/name/status/duration_ms/measures — emitted at
+// engine round/batch boundaries and per Service Update/IngestSpan/
+// Grow call. With no sink attached (the default) no envelope is ever
+// built, so the zero-allocation guarantees of the span-ingest and
+// solver paths hold unchanged. The cmd/ccserve binary serves
+// /metrics, /healthz, /debug/pprof, and JSON ingest/query endpoints
+// over a Service; OPERATIONS.md is the operator's guide (envelope
+// schema, full metrics reference, scrape and pprof walkthroughs).
 //
 // # Graph formats and loading
 //

@@ -5,15 +5,22 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/graph"
 	"repro/internal/ccbase"
 	"repro/internal/compaction"
 	"repro/internal/hashing"
 	"repro/internal/labels"
+	"repro/internal/obs"
 	"repro/internal/pram"
 	"repro/internal/vanilla"
 )
+
+// mRounds counts EXPAND-MAXLINK rounds process-wide; round-boundary
+// events carry the per-round detail when a sink is attached.
+var mRounds = obs.Default.Counter("pramcc_sim_rounds_total",
+	"EXPAND-MAXLINK rounds executed by the simulated backend")
 
 // state is the mutable execution state of the repeat loop.
 type state struct {
@@ -157,6 +164,10 @@ func Run(m *pram.Machine, g *graph.Graph, p Params) Result {
 	if maxRounds <= 0 {
 		maxRounds = 8*ceilLog2(n) + 96
 	}
+	// As in the native engine: the event envelope is built only when a
+	// sink is attached, decided once per run.
+	emit := obs.Enabled()
+	var roundStart time.Time
 	for round := 1; nOngoing > 0; round++ {
 		if err := ctx.Err(); err != nil {
 			res.CtxErr = err
@@ -167,8 +178,24 @@ func Run(m *pram.Machine, g *graph.Graph, p Params) Result {
 			res.Failed = true
 			break
 		}
+		if emit {
+			roundStart = time.Now()
+		}
 		done := s.round(round, &res)
 		res.Rounds++
+		mRounds.Inc()
+		if emit {
+			tr := res.Trace[len(res.Trace)-1]
+			obs.Emit(obs.Event{Source: "simulated", Category: "engine",
+				Name: "round", Status: obs.StatusOK,
+				DurationMS: float64(time.Since(roundStart).Nanoseconds()) / 1e6,
+				Measures: map[string]float64{
+					"round":          float64(round),
+					"roots":          float64(tr.Roots),
+					"max_level":      float64(tr.MaxLevel),
+					"parent_changes": float64(tr.ParentChanges),
+				}})
+		}
 		if s.overBudget {
 			res.Failed = true
 			break

@@ -42,9 +42,22 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"repro/graph"
 	"repro/internal/native"
+	"repro/internal/obs"
+)
+
+// Union-find ingest metrics, process-wide across engines. The adds sit
+// inside the sharded-ingest path — the region TestSpanIngestZeroAlloc
+// pins at zero allocations — which is exactly why they are plain
+// atomic counters and the event envelope is gated on an attached sink.
+var (
+	mBatches = obs.Default.Counter("pramcc_uf_batches_total",
+		"edge batches absorbed by the streaming union-find")
+	mEdges = obs.Default.Counter("pramcc_uf_edges_total",
+		"edges unioned into the streaming union-find")
 )
 
 // grain is the number of edges or vertices a worker claims per fetch
@@ -331,7 +344,13 @@ func (e *Engine) ingestSpan(ctx context.Context, span graph.EdgeSpan) error {
 		return err
 	}
 	if span.Len() == 0 {
+		e.noteIngest(0, 0)
 		return nil
+	}
+	emit := obs.Enabled()
+	var start time.Time
+	if emit {
+		start = time.Now()
 	}
 	e.spanU, e.spanV = span.U, span.V
 	e.spanTotal = span.Len()
@@ -339,7 +358,50 @@ func (e *Engine) ingestSpan(ctx context.Context, span graph.EdgeSpan) error {
 	e.spanCursor.Store(0)
 	e.pool.Run(e.spanWorker)
 	e.spanU, e.spanV, e.spanCtx = nil, nil, nil
-	return ctx.Err()
+	if err := ctx.Err(); err != nil {
+		e.noteIngestErr(err)
+		return err
+	}
+	e.noteIngest(span.Len(), elapsedIf(emit, start))
+	return nil
+}
+
+// noteIngest records a completed batch on the union-find metrics and,
+// when a sink is attached, emits the batch-boundary event. Counter
+// adds are atomic and allocation-free; the envelope (with its measures
+// map) is built only under an attached sink — this function runs
+// inside the region TestSpanIngestZeroAlloc holds at zero allocations.
+func (e *Engine) noteIngest(edges int, d time.Duration) {
+	mBatches.Inc()
+	mEdges.Add(int64(edges))
+	if obs.Enabled() {
+		obs.Emit(obs.Event{Source: "incremental", Category: "engine",
+			Name: "batch", Status: obs.StatusOK,
+			DurationMS: float64(d.Nanoseconds()) / 1e6,
+			Measures:   map[string]float64{"edges": float64(edges)}})
+	}
+}
+
+// noteIngestErr emits the cancelled-batch event; the batch is not
+// counted (nothing was published).
+func (e *Engine) noteIngestErr(err error) {
+	if obs.Enabled() {
+		status := obs.StatusError
+		if err == context.Canceled || err == context.DeadlineExceeded {
+			status = obs.StatusCancelled
+		}
+		obs.Emit(obs.Event{Source: "incremental", Category: "engine",
+			Name: "batch", Status: status})
+	}
+}
+
+// elapsedIf returns the elapsed time since start when timing was
+// enabled, 0 otherwise (start is the zero Time then).
+func elapsedIf(enabled bool, start time.Time) time.Duration {
+	if !enabled {
+		return 0
+	}
+	return time.Since(start)
 }
 
 // spanWork is the per-goroutine body of a span ingest: claim
@@ -373,7 +435,13 @@ func (e *Engine) ingest(ctx context.Context, total int, edge func(i int) (int32,
 		return err
 	}
 	if total == 0 {
+		e.noteIngest(0, 0)
 		return nil
+	}
+	emit := obs.Enabled()
+	var start time.Time
+	if emit {
+		start = time.Now()
 	}
 	var cursor atomic.Int64
 	e.pool.Run(func(int) {
@@ -392,7 +460,12 @@ func (e *Engine) ingest(ctx context.Context, total int, edge func(i int) (int32,
 			}
 		}
 	})
-	return ctx.Err()
+	if err := ctx.Err(); err != nil {
+		e.noteIngestErr(err)
+		return err
+	}
+	e.noteIngest(total, elapsedIf(emit, start))
+	return nil
 }
 
 // publish flattens the forest into a fresh snapshot. It runs after the

@@ -32,8 +32,20 @@ import (
 	"context"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"repro/graph"
+	"repro/internal/obs"
+)
+
+// Engine-level metrics: completed runs and link+shortcut rounds,
+// process-wide. Counted once per run (not per round), so the hot loop
+// pays nothing until convergence.
+var (
+	mRuns = obs.Default.Counter("pramcc_native_runs_total",
+		"completed native-engine Run calls")
+	mRounds = obs.Default.Counter("pramcc_native_rounds_total",
+		"link+shortcut rounds executed by the native engine")
 )
 
 // grain is the number of edges or vertices a worker claims per fetch
@@ -130,23 +142,55 @@ func (e *Engine) Run(ctx context.Context, g *graph.Graph, labels []int32) (int, 
 	e.g, e.labels = g, labels
 	defer func() { e.g, e.labels = nil, nil }()
 
+	// Event emission is decided once per run: the envelope (and its
+	// measures map) is built only when an operator attached a sink, so
+	// the default round loop stays allocation-free.
+	emit := obs.Enabled()
+	var roundStart time.Time
 	rounds := 0
 	for {
 		if err := ctx.Err(); err != nil {
+			if emit {
+				obs.Emit(obs.Event{Source: "native", Category: "engine",
+					Name: "run", Status: obs.StatusCancelled,
+					Measures: map[string]float64{"rounds": float64(rounds)}})
+			}
 			return rounds, err
 		}
 		rounds++
+		if emit {
+			roundStart = time.Now()
+		}
 		linked := e.sweep(phaseLink, numEdges)
 		cut := e.sweep(phaseShortcut, g.N)
+		if emit {
+			obs.Emit(obs.Event{Source: "native", Category: "engine",
+				Name: "round", Status: obs.StatusOK,
+				DurationMS: float64(time.Since(roundStart).Nanoseconds()) / 1e6,
+				Measures: map[string]float64{
+					"round":   float64(rounds),
+					"changed": b2f(linked || cut),
+				}})
+		}
 		// A full round with no successful CAS means the labels are flat
 		// and agree across every edge: were some edge's labels unequal,
 		// the link CAS-min on its larger side would have succeeded
 		// against a flat (self-parented) label. Labels strictly
 		// decrease on every change, so this point is always reached.
 		if !linked && !cut {
+			mRuns.Inc()
+			mRounds.Add(int64(rounds))
 			return rounds, nil
 		}
 	}
+}
+
+// b2f encodes a bool as a 0/1 event measure.
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // sweep shards [0, total) into grain-sized chunks claimed off the

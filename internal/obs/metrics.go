@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric: a single atomic int64.
+// Add and Inc are lock-free and allocation-free — safe on the hottest
+// paths in the module.
+type Counter struct {
+	v    atomic.Int64
+	name string
+	help string
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be ≥ 0 for the counter to stay monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down: a single atomic int64.
+type Gauge struct {
+	v    atomic.Int64
+	name string
+	help string
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// gaugeFunc is a gauge whose value is computed at scrape time — the
+// shape for derived quantities like snapshot age, where storing the
+// value would require a background updater.
+type gaugeFunc struct {
+	name string
+	help string
+	f    func() float64
+}
+
+// DefDurationBuckets are the default histogram bounds for durations in
+// seconds: 100µs to 10s, roughly ×2.5 per step — wide enough to cover
+// a sub-millisecond span ingest and a full-graph simulated solve in
+// the same histogram.
+var DefDurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations
+// (durations in seconds by convention). Observe is lock-free: one
+// atomic add on the bucket counter, one on the count, and a CAS loop
+// on the bit-packed float sum. Rendered in the Prometheus histogram
+// convention (cumulative _bucket{le=...} series plus _sum and _count).
+type Histogram struct {
+	name   string
+	help   string
+	bounds []float64 // upper bounds, ascending; +Inf bucket is implicit
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// metric is one registered entry, whatever its kind.
+type metric struct {
+	name string
+	typ  string // "counter", "gauge", "histogram"
+	help string
+	c    *Counter
+	g    *Gauge
+	gf   *gaugeFunc
+	h    *Histogram
+}
+
+// Registry is a named collection of metrics. Registration (Counter,
+// Gauge, GaugeFunc, Histogram) happens at package init or construction
+// time and takes a lock; the returned handles are updated lock-free.
+// Duplicate names panic: two subsystems claiming one metric is a
+// programming error, not a runtime condition.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	byName  map[string]bool
+}
+
+// NewRegistry returns an empty registry. Most callers use Default.
+func NewRegistry() *Registry { return &Registry{byName: map[string]bool{}} }
+
+// Default is the process-wide registry every package-level metric in
+// the module registers into, and the one /metrics scrapes.
+var Default = NewRegistry()
+
+func (r *Registry) register(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName[m.name] {
+		panic("obs: duplicate metric " + m.name)
+	}
+	r.byName[m.name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.register(metric{name: name, typ: "counter", help: help, c: c})
+	return c
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.register(metric{name: name, typ: "gauge", help: help, g: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is f() at scrape time.
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	r.register(metric{name: name, typ: "gauge", help: help,
+		gf: &gaugeFunc{name: name, help: help, f: f}})
+}
+
+// Histogram registers and returns a new histogram over the given
+// ascending upper bounds (nil selects DefDurationBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefDurationBuckets
+	}
+	h := &Histogram{name: name, help: help, bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1)}
+	r.register(metric{name: name, typ: "histogram", help: help, h: h})
+	return h
+}
+
+// Names returns every registered metric name, sorted — the generated
+// list scripts/check_docs.sh compares OPERATIONS.md against.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.metrics))
+	for i, m := range r.metrics {
+		out[i] = m.name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4): # HELP and # TYPE comments
+// followed by the samples, histograms as cumulative le-labelled
+// buckets plus _sum and _count. Values are snapshots of the atomics;
+// writers are never blocked by a scrape.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	metrics := make([]metric, len(r.metrics))
+	copy(metrics, r.metrics)
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, m := range metrics {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
+		switch {
+		case m.c != nil:
+			fmt.Fprintf(bw, "%s %d\n", m.name, m.c.Value())
+		case m.g != nil:
+			fmt.Fprintf(bw, "%s %d\n", m.name, m.g.Value())
+		case m.gf != nil:
+			fmt.Fprintf(bw, "%s %s\n", m.name, formatFloat(m.gf.f()))
+		case m.h != nil:
+			cum := int64(0)
+			for i, b := range m.h.bounds {
+				cum += m.h.counts[i].Load()
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", m.name, formatFloat(b), cum)
+			}
+			cum += m.h.counts[len(m.h.bounds)].Load()
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
+			fmt.Fprintf(bw, "%s_sum %s\n", m.name, formatFloat(m.h.Sum()))
+			fmt.Fprintf(bw, "%s_count %d\n", m.name, m.h.Count())
+		}
+	}
+	return bw.Flush()
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

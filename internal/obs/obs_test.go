@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestEventJSONSchema pins the envelope's wire format: the six fields
+// OPERATIONS.md documents, with exactly these JSON names, and Measures
+// omitted when empty.
+func TestEventJSONSchema(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONSink(&buf)
+	s.Emit(Event{
+		Source: "native", Category: "engine", Name: "round",
+		Status: StatusOK, DurationMS: 1.5,
+		Measures: map[string]float64{"round": 3, "edges": 80000},
+	})
+	s.Emit(Event{Source: "service", Category: "serve", Name: "grow", Status: StatusOK})
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %q", len(lines), buf.String())
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"source", "category", "name", "status", "duration_ms", "measures"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("field %q missing from envelope: %s", k, lines[0])
+		}
+	}
+	if m["source"] != "native" || m["duration_ms"] != 1.5 {
+		t.Errorf("envelope values wrong: %v", m)
+	}
+	if strings.Contains(lines[1], "measures") {
+		t.Errorf("empty measures not omitted: %s", lines[1])
+	}
+}
+
+// TestSinkSwap: no sink drops events; SetSink routes them; nil
+// detaches again.
+func TestSinkSwap(t *testing.T) {
+	SetSink(nil)
+	if Enabled() {
+		t.Fatal("Enabled with no sink")
+	}
+	Emit(Event{Source: "test"}) // must not panic
+
+	var buf bytes.Buffer
+	SetSink(NewJSONSink(&buf))
+	defer SetSink(nil)
+	if !Enabled() {
+		t.Fatal("not Enabled after SetSink")
+	}
+	Emit(Event{Source: "test", Name: "one"})
+	SetSink(nil)
+	Emit(Event{Source: "test", Name: "two"})
+	if got := buf.String(); !strings.Contains(got, `"one"`) || strings.Contains(got, `"two"`) {
+		t.Fatalf("sink routing wrong: %q", got)
+	}
+}
+
+// TestEmitDisabledZeroAlloc pins the contract the ingest hot path
+// relies on: with no sink attached, the full instrumentation pattern —
+// counter add, gauge set, histogram observe, gated emit — performs
+// zero heap allocations.
+func TestEmitDisabledZeroAlloc(t *testing.T) {
+	SetSink(nil)
+	r := NewRegistry()
+	c := r.Counter("t_total", "t")
+	g := r.Gauge("t_gauge", "t")
+	h := r.Histogram("t_seconds", "t", nil)
+	if avg := testing.AllocsPerRun(100, func() {
+		c.Add(3)
+		g.Set(7)
+		h.Observe(0.002)
+		if Enabled() {
+			Emit(Event{Source: "test", Measures: map[string]float64{"x": 1}})
+		}
+	}); avg != 0 {
+		t.Fatalf("disabled instrumentation allocates %.1f times, want 0", avg)
+	}
+}
+
+// TestCounterGaugeHistogram: the arithmetic under concurrency.
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h_seconds", "h", []float64{0.01, 0.1, 1})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(0.05)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+	if got, want := h.Sum(), 8000*0.05; got < want*0.999 || got > want*1.001 {
+		t.Errorf("histogram sum = %g, want ≈ %g", got, want)
+	}
+	h.ObserveDuration(2 * time.Second)
+	if h.Count() != 8001 {
+		t.Errorf("ObserveDuration did not count")
+	}
+}
+
+// TestWritePrometheus: the exposition format — HELP/TYPE comments,
+// cumulative histogram buckets, +Inf, _sum/_count — and Names.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "things done")
+	g := r.Gauge("x_depth", "queue depth")
+	r.GaugeFunc("x_age_seconds", "age", func() float64 { return 2.5 })
+	h := r.Histogram("x_seconds", "latency", []float64{0.1, 1})
+	c.Add(5)
+	g.Set(-2)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(99)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP x_total things done",
+		"# TYPE x_total counter",
+		"x_total 5",
+		"# TYPE x_depth gauge",
+		"x_depth -2",
+		"x_age_seconds 2.5",
+		"# TYPE x_seconds histogram",
+		`x_seconds_bucket{le="0.1"} 1`,
+		`x_seconds_bucket{le="1"} 2`,
+		`x_seconds_bucket{le="+Inf"} 3`,
+		"x_seconds_sum 99.55",
+		"x_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	names := r.Names()
+	want := []string{"x_age_seconds", "x_depth", "x_seconds", "x_total"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+}
+
+// TestDuplicateMetricPanics: claiming a registered name is a
+// programming error.
+func TestDuplicateMetricPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("dup_total", "b")
+}

@@ -5,7 +5,25 @@
 // packages need to import each other for a goroutine pool.
 package pool
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Worker-pool occupancy metrics: live workers across every pool in the
+// process, how many of them are inside a sharded run right now, and
+// how many runs have been dispatched. Plain atomic adds on the Run
+// barrier path — noise next to the channel sends the barrier already
+// pays, and allocation-free by the obs contract.
+var (
+	mWorkers = obs.Default.Gauge("pramcc_pool_workers",
+		"live worker goroutines across all worker pools in the process")
+	mBusy = obs.Default.Gauge("pramcc_pool_busy_workers",
+		"pool workers currently executing a sharded parallel run")
+	mRuns = obs.Default.Counter("pramcc_pool_runs_total",
+		"sharded parallel runs dispatched to worker pools")
+)
 
 // Pool is a reusable fixed-size worker pool. The workers are spawned
 // once and fed one job per round via per-worker channels, instead of
@@ -31,6 +49,7 @@ func New(workers int) *Pool {
 			}
 		}(i, ch)
 	}
+	mWorkers.Add(int64(workers))
 	return p
 }
 
@@ -39,11 +58,14 @@ func (p *Pool) Workers() int { return len(p.jobs) }
 
 // Run executes f once on every worker and waits for all of them.
 func (p *Pool) Run(f func(worker int)) {
+	mRuns.Inc()
+	mBusy.Add(int64(len(p.jobs)))
 	p.wg.Add(len(p.jobs))
 	for _, ch := range p.jobs {
 		ch <- f
 	}
 	p.wg.Wait()
+	mBusy.Add(int64(-len(p.jobs)))
 }
 
 // Close terminates the worker goroutines. The pool must be idle.
@@ -55,5 +77,6 @@ func (p *Pool) Close() {
 		for _, ch := range p.jobs {
 			close(ch)
 		}
+		mWorkers.Add(int64(-len(p.jobs)))
 	})
 }

@@ -11,9 +11,11 @@
 # cumulative drift of the backends (BackendSimulated vs BackendNative
 # vs BackendIncremental), of the graph loaders (sequential text vs
 # parallel text vs binary), and of the streaming replay paths
-# (columnar BenchmarkIngestSpan vs boxed BenchmarkIngestPairs, plus
-# their engine-level BenchmarkEngineIngest* twins) since the last
-# deliberate refresh. Comparison uses benchstat when installed
+# (columnar BenchmarkIngestSpan vs boxed BenchmarkIngestPairs, their
+# engine-level BenchmarkEngineIngest* twins, and the fully
+# instrumented BenchmarkIngestSpanInstrumented — the JSON-event-sink
+# worst case, whose delta against BenchmarkIngestSpan is the whole
+# cost of observability) since the last deliberate refresh. Comparison uses benchstat when installed
 # (go install golang.org/x/perf/cmd/benchstat@latest) and falls back to
 # printing both result sets side by side when not.
 set -euo pipefail

@@ -49,12 +49,19 @@ func NewService(n int, opts ...Option) (*Service, error) {
 	for i := range labels {
 		labels[i] = int32(i)
 	}
-	sv.snap.Store(&Result{
+	sv.publish(&Result{
 		Labels:        labels,
 		NumComponents: n,
 		Stats:         Stats{Backend: solver.cfg.backend},
 	})
 	return sv, nil
+}
+
+// publish stores r as the served snapshot and records the publication
+// on the serving metrics (snapshot sequence, size, age).
+func (sv *Service) publish(r *Result) {
+	sv.snap.Store(r)
+	notePublish(r)
 }
 
 // Update recomputes the labeling of g on the service's backend and
@@ -72,6 +79,7 @@ func (sv *Service) Update(ctx context.Context, g *graph.Graph) (*Result, error) 
 	if sv.closed {
 		return nil, ErrSolverClosed
 	}
+	start := time.Now()
 	res, err := sv.solver.Solve(ctx, g)
 	if err != nil {
 		// A streaming engine rebuilds destructively (reset + ingest),
@@ -82,6 +90,11 @@ func (sv *Service) Update(ctx context.Context, g *graph.Graph) (*Result, error) 
 		if st, ok := sv.solver.eng.(streamEngine); ok {
 			st.restore(sv.snap.Load().Labels)
 		}
+		mUpdateErrors.Inc()
+		if obsEnabled() {
+			emitService("update", statusOf(err), time.Since(start),
+				map[string]float64{"n": float64(g.N), "edges": float64(g.NumEdges())})
+		}
 		return nil, err
 	}
 	pub := &Result{
@@ -89,7 +102,17 @@ func (sv *Service) Update(ctx context.Context, g *graph.Graph) (*Result, error) 
 		NumComponents: res.NumComponents,
 		Stats:         res.Stats,
 	}
-	sv.snap.Store(pub)
+	sv.publish(pub)
+	mUpdates.Inc()
+	mUpdateDur.Observe(res.Stats.Wall.Seconds())
+	if obsEnabled() {
+		emitService("update", statusOf(nil), res.Stats.Wall, map[string]float64{
+			"n":          float64(g.N),
+			"edges":      float64(g.NumEdges()),
+			"components": float64(pub.NumComponents),
+			"rounds":     float64(pub.Stats.Rounds),
+		})
+	}
 	return pub, nil
 }
 
@@ -136,18 +159,25 @@ func (sv *Service) IngestSpan(ctx context.Context, span graph.EdgeSpan) (*Result
 	}
 	st, ok := sv.solver.eng.(streamEngine)
 	if !ok {
+		mIngestErrors.Inc()
 		return nil, fmt.Errorf("pramcc: backend %v does not support streaming ingest (use Update, or build the Service with BackendIncremental)", sv.solver.cfg.backend)
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
+		mIngestErrors.Inc()
 		return nil, err
 	}
 	start := time.Now()
 	var out solveOutput
 	components, err := st.ingest(ctx, span, &out)
 	if err != nil {
+		mIngestErrors.Inc()
+		if obsEnabled() {
+			emitService("ingest_span", statusOf(err), time.Since(start),
+				map[string]float64{"edges": float64(span.Len())})
+		}
 		return nil, err
 	}
 	out.stats.Wall = time.Since(start)
@@ -156,7 +186,19 @@ func (sv *Service) IngestSpan(ctx context.Context, span graph.EdgeSpan) (*Result
 		NumComponents: components,
 		Stats:         out.stats,
 	}
-	sv.snap.Store(pub)
+	sv.publish(pub)
+	mIngestSpans.Inc()
+	mIngestEdges.Add(int64(span.Len()))
+	mIngestDur.Observe(out.stats.Wall.Seconds())
+	if s := out.stats.Wall.Seconds(); s > 0 {
+		mIngestRate.Set(int64(float64(span.Len()) / s))
+	}
+	if obsEnabled() {
+		emitService("ingest_span", statusOf(nil), out.stats.Wall, map[string]float64{
+			"edges":      float64(span.Len()),
+			"components": float64(components),
+		})
+	}
 	return pub, nil
 }
 
@@ -188,7 +230,13 @@ func (sv *Service) Grow(n int) error {
 		NumComponents: cur.NumComponents + n - len(cur.Labels),
 		Stats:         cur.Stats,
 	}
-	sv.snap.Store(pub)
+	sv.publish(pub)
+	if obsEnabled() {
+		emitService("grow", statusOf(nil), 0, map[string]float64{
+			"n":     float64(n),
+			"added": float64(n - len(cur.Labels)),
+		})
+	}
 	return nil
 }
 
