@@ -40,6 +40,8 @@ func run(args []string, out io.Writer) error {
 	n := fs.Int("n", 0, "initial vertex count (ignored when -graph sets the vertex set)")
 	workers := fs.Int("workers", 0, "worker goroutines for solves and ingests (0 = GOMAXPROCS)")
 	graphPath := fs.String("graph", "", "preload a graph file (text edge list or binary) via Update before serving")
+	dataDir := fs.String("data", "", "durable data directory: snapshots + ingest WAL, warm-started on restart (incremental backend only)")
+	ckptEvery := fs.Int("checkpoint-every", 64, "with -data, checkpoint a snapshot every K logged batches")
 	events := fs.String("events", "", "attach the JSON event sink: a file path, or \"stderr\"")
 	listMetrics := fs.Bool("list-metrics", false, "print the registered metric names, one per line, and exit")
 	if err := fs.Parse(args); err != nil {
@@ -67,10 +69,27 @@ func run(args []string, out io.Writer) error {
 		defer pramcc.SetEventSink(nil)
 	}
 
-	sv, err := pramcc.NewService(*n,
-		pramcc.WithBackend(backend), pramcc.WithWorkers(*workers))
-	if err != nil {
-		return err
+	var sv *pramcc.Service
+	var err error
+	if *dataDir != "" {
+		sv, err = pramcc.Open(*dataDir,
+			pramcc.WithBackend(backend), pramcc.WithWorkers(*workers),
+			pramcc.WithInitialVertices(*n), pramcc.WithCheckpointEvery(*ckptEvery))
+		if err != nil {
+			return err
+		}
+		if stats, ok := sv.RecoveryStats(); ok {
+			fmt.Fprintf(out, "recovered %s: snapshot seq=%d, replayed %d batches (%d edges) in %v\n",
+				*dataDir, stats.SnapshotSeq, stats.ReplayedBatches, stats.ReplayedEdges, stats.Duration)
+		} else {
+			fmt.Fprintf(out, "created durable store %s\n", *dataDir)
+		}
+	} else {
+		sv, err = pramcc.NewService(*n,
+			pramcc.WithBackend(backend), pramcc.WithWorkers(*workers))
+		if err != nil {
+			return err
+		}
 	}
 	defer sv.Close()
 
@@ -182,14 +201,21 @@ func newHandler(sv *pramcc.Service) http.Handler {
 	}))
 	mux.HandleFunc("/v1/stats", counted(func(w http.ResponseWriter, r *http.Request) {
 		snap := sv.Snapshot()
-		writeJSON(w, http.StatusOK, map[string]any{
+		stats := map[string]any{
 			"backend":    sv.Backend().String(),
 			"n":          len(snap.Labels),
 			"components": snap.NumComponents,
 			"rounds":     snap.Stats.Rounds,
 			"workers":    snap.Stats.Workers,
 			"wall_ms":    float64(snap.Stats.Wall.Nanoseconds()) / 1e6,
-		})
+		}
+		if seq, ok := sv.DurableSeq(); ok {
+			stats["durable_seq"] = seq
+			if rec, ok := sv.RecoveryStats(); ok {
+				stats["recovered_batches"] = rec.ReplayedBatches
+			}
+		}
+		writeJSON(w, http.StatusOK, stats)
 	}))
 	return mux
 }

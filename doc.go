@@ -119,6 +119,28 @@
 // over a Service; OPERATIONS.md is the operator's guide (envelope
 // schema, full metrics reference, scrape and pprof walkthroughs).
 //
+// # Durability
+//
+// Open roots a streaming Service in a data directory and makes it
+// crash-safe: every accepted Ingest/IngestSpan/Grow batch is appended
+// to a write-ahead log and fsynced before its snapshot publishes,
+// published labelings are checkpointed every WithCheckpointEvery
+// batches (and on every Update), and reopening the directory
+// warm-starts from the newest valid snapshot plus an exactly-once
+// replay of the log — RecoveryStats reports what was done.
+// Service.Persist makes an already-running in-memory service durable
+// the same way. A cold Open starts from WithInitialVertices isolated
+// vertices:
+//
+//	sv, err := pramcc.Open(dir, pramcc.WithInitialVertices(n))
+//	sv.Ingest(ctx, edges)          // durable when the call returns
+//	sv.Close()                     // or crash — same outcome:
+//	sv, err = pramcc.Open(dir)     // the labels queries last saw
+//
+// The on-disk formats (PCCS snapshots, PCCW log segments, the
+// atomically replaced MANIFEST) and the recovery procedure are
+// documented in OPERATIONS.md.
+//
 // # Graph formats and loading
 //
 // Graphs enter the system in two on-disk formats, and every consumer

@@ -1,0 +1,149 @@
+package durable
+
+import "errors"
+
+// ErrInjectedFault is the error every FailFS operation returns once
+// its write budget is exhausted.
+var ErrInjectedFault = errors.New("durable: injected crash")
+
+// FailFS is the crash-injection harness: an FS wrapper that simulates
+// power loss after a byte-exact amount of write activity. Every write
+// site costs budget — file writes cost their byte count (and a write
+// that overruns the budget persists only the prefix that fit: a torn
+// write), while Create/Sync/Rename/Remove/Truncate/SyncDir cost one
+// unit each — and once the budget is exhausted the filesystem is dead:
+// every subsequent mutation fails with ErrInjectedFault, modelling a
+// fail-stop crash rather than intermittent errors. Reads always pass
+// through, so a test can inspect the wreckage.
+//
+// The crash-injection suite measures a workload's total cost with an
+// effectively infinite budget, then replays it once per budget in
+// [0, total), reopening the store through a clean FS after each
+// simulated crash — every byte offset of every write site becomes a
+// crash point.
+type FailFS struct {
+	inner  FS
+	budget int64
+	cost   int64
+	dead   bool
+}
+
+// NewFailFS wraps inner with a write budget.
+func NewFailFS(inner FS, budget int64) *FailFS {
+	return &FailFS{inner: inner, budget: budget}
+}
+
+// Cost returns the write cost consumed so far — run a workload with a
+// huge budget to measure its total, then crash at every point below it.
+func (f *FailFS) Cost() int64 { return f.cost }
+
+// Dead reports whether the injected crash has fired.
+func (f *FailFS) Dead() bool { return f.dead }
+
+// charge consumes n units, killing the filesystem when the budget is
+// exceeded. It returns the units actually available (< n on the fatal
+// overrun).
+func (f *FailFS) charge(n int64) (int64, error) {
+	if f.dead {
+		return 0, ErrInjectedFault
+	}
+	avail := f.budget - f.cost
+	if avail >= n {
+		f.cost += n
+		return n, nil
+	}
+	f.cost += avail
+	f.dead = true
+	return avail, ErrInjectedFault
+}
+
+// MkdirAll implements FS; directory creation is free (it is part of
+// opening a store, not of the durability write path).
+func (f *FailFS) MkdirAll(dir string) error {
+	if f.dead {
+		return ErrInjectedFault
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+// Create implements FS, costing one unit.
+func (f *FailFS) Create(name string) (File, error) {
+	if _, err := f.charge(1); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &failFile{fs: f, inner: file}, nil
+}
+
+// ReadFile implements FS; reads are free and survive the crash.
+func (f *FailFS) ReadFile(name string) ([]byte, error) { return f.inner.ReadFile(name) }
+
+// ReadDir implements FS; reads are free and survive the crash.
+func (f *FailFS) ReadDir(dir string) ([]string, error) { return f.inner.ReadDir(dir) }
+
+// Rename implements FS, costing one unit.
+func (f *FailFS) Rename(oldname, newname string) error {
+	if _, err := f.charge(1); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+// Remove implements FS, costing one unit.
+func (f *FailFS) Remove(name string) error {
+	if _, err := f.charge(1); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+// Truncate implements FS, costing one unit.
+func (f *FailFS) Truncate(name string, size int64) error {
+	if _, err := f.charge(1); err != nil {
+		return err
+	}
+	return f.inner.Truncate(name, size)
+}
+
+// SyncDir implements FS, costing one unit.
+func (f *FailFS) SyncDir(dir string) error {
+	if _, err := f.charge(1); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// failFile charges writes by byte and syncs by unit against the shared
+// budget; a write that overruns persists only its affordable prefix —
+// the torn-write case every decoder must tolerate.
+type failFile struct {
+	fs    *FailFS
+	inner File
+}
+
+func (f *failFile) Write(p []byte) (int, error) {
+	n, err := f.fs.charge(int64(len(p)))
+	if n > 0 {
+		if _, werr := f.inner.Write(p[:n]); werr != nil {
+			return 0, werr
+		}
+	}
+	if err != nil {
+		return int(n), err
+	}
+	return len(p), nil
+}
+
+func (f *failFile) Sync() error {
+	if _, err := f.fs.charge(1); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+// Close is free: closing neither writes nor makes anything durable,
+// and even a dying process's descriptors get closed.
+func (f *failFile) Close() error { return f.inner.Close() }

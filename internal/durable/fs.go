@@ -1,0 +1,99 @@
+package durable
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the filesystem surface the store writes through. It exists so
+// the crash-injection harness (FailFS) can cut power at any byte of
+// any write site; production code uses OSFS. The surface is
+// deliberately narrow — whole-file reads, create-truncate writes,
+// atomic rename — because those are the only primitives the
+// snapshot/WAL/manifest machinery needs, and every one of them must be
+// exercised by the crash tests.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// Create opens name for writing, truncating any existing file.
+	Create(name string) (File, error)
+	// ReadFile returns the full contents of name.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir returns the sorted base names of the entries of dir.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Truncate cuts name to size bytes (the torn-tail repair).
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs the directory itself, making renames and file
+	// creations durable.
+	SyncDir(dir string) error
+}
+
+// File is a writable file handle: sequential writes, explicit
+// durability via Sync, and Close.
+type File interface {
+	io.Writer
+	// Sync flushes the file's written data to stable storage.
+	Sync() error
+	// Close closes the handle (without an implicit Sync).
+	Close() error
+}
+
+// OSFS is the production FS: the os package, verbatim.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// Truncate implements FS.
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// SyncDir implements FS. Directory fsync is how a rename or create is
+// made durable on POSIX filesystems; platforms where directories
+// cannot be fsynced surface the error to the caller, which treats any
+// durability failure as fatal for the store.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

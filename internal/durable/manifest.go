@@ -1,0 +1,114 @@
+package durable
+
+import (
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+	"strings"
+)
+
+// The manifest is the root of truth of a store directory: a small text
+// file named MANIFEST listing (snapshot file, last-applied batch seq)
+// pairs, newest first, with a CRC32 footer line:
+//
+//	PCCM 1
+//	snapshot snap-0000000000000006.pccs 6
+//	snapshot snap-0000000000000004.pccs 4
+//	crc 1a2b3c4d
+//
+// Recovery starts from the first pair whose snapshot file decodes
+// clean and replays the WAL from that pair's seq; the older pair is
+// the fallback, and the WAL is retained back to it (segments are only
+// deleted once they precede the fallback snapshot), so recovery from
+// either pair converges on the same labeling. The manifest is replaced
+// atomically — written to MANIFEST.tmp, fsynced, renamed over MANIFEST,
+// directory fsynced — so there is always exactly one complete manifest
+// on disk and a crash can never tear it.
+const (
+	manifestName    = "MANIFEST"
+	manifestTmpName = "MANIFEST.tmp"
+	manifestMagic   = "PCCM 1"
+	// manifestDepth is how many (snapshot, seq) pairs the manifest
+	// retains: the current snapshot plus one fallback.
+	manifestDepth = 2
+)
+
+// manifestEntry is one (snapshot file, last-applied seq) pair.
+type manifestEntry struct {
+	file string
+	seq  uint64
+}
+
+// encodeManifest renders entries in the MANIFEST text format.
+func encodeManifest(entries []manifestEntry) []byte {
+	var b strings.Builder
+	b.WriteString(manifestMagic + "\n")
+	for _, e := range entries {
+		fmt.Fprintf(&b, "snapshot %s %d\n", e.file, e.seq)
+	}
+	body := b.String()
+	return []byte(fmt.Sprintf("%scrc %08x\n", body, crc32.ChecksumIEEE([]byte(body))))
+}
+
+// decodeManifest parses the MANIFEST text format, validating the magic
+// line, the CRC footer, and every entry.
+func decodeManifest(data []byte) ([]manifestEntry, error) {
+	text := string(data)
+	i := strings.LastIndex(text, "crc ")
+	if i < 0 || !strings.HasSuffix(text, "\n") {
+		return nil, fmt.Errorf("durable: manifest has no crc footer")
+	}
+	body, foot := text[:i], strings.TrimSpace(text[i+len("crc "):])
+	var stored uint32
+	if _, err := fmt.Sscanf(foot, "%08x", &stored); err != nil {
+		return nil, fmt.Errorf("durable: bad manifest crc line %q", foot)
+	}
+	if sum := crc32.ChecksumIEEE([]byte(body)); sum != stored {
+		return nil, fmt.Errorf("durable: manifest CRC mismatch: stored %08x, computed %08x", stored, sum)
+	}
+	lines := strings.Split(strings.TrimSuffix(body, "\n"), "\n")
+	if len(lines) == 0 || lines[0] != manifestMagic {
+		return nil, fmt.Errorf("durable: bad manifest magic (want %q)", manifestMagic)
+	}
+	var entries []manifestEntry
+	for _, line := range lines[1:] {
+		var e manifestEntry
+		if _, err := fmt.Sscanf(line, "snapshot %s %d", &e.file, &e.seq); err != nil {
+			return nil, fmt.Errorf("durable: bad manifest line %q", line)
+		}
+		if e.file != filepath.Base(e.file) || e.file == "" {
+			return nil, fmt.Errorf("durable: manifest snapshot name %q is not a bare file name", e.file)
+		}
+		entries = append(entries, e)
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("durable: manifest lists no snapshots")
+	}
+	return entries, nil
+}
+
+// writeManifest atomically replaces dir's MANIFEST with entries: temp
+// write, file sync, rename, directory sync. Any failure leaves the old
+// manifest in effect.
+func writeManifest(fsys FS, dir string, entries []manifestEntry) error {
+	tmp := filepath.Join(dir, manifestTmpName)
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(encodeManifest(entries)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
+}

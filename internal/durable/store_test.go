@@ -1,0 +1,313 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/graph"
+)
+
+// span builds an EdgeSpan from undirected pairs.
+func span(pairs ...[2]int) graph.EdgeSpan { return graph.FromPairs(pairs) }
+
+// isolated returns the n-isolated-vertices canonical labeling.
+func isolated(n int) []int32 {
+	labels := make([]int32, n)
+	for i := range labels {
+		labels[i] = int32(i)
+	}
+	return labels
+}
+
+// mustOpen opens a store and fails the test on error.
+func mustOpen(t *testing.T, dir string) (*Store, *Recovered) {
+	t.Helper()
+	s, rec, err := Open(dir, nil)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s, rec
+}
+
+// dirNames lists the store directory's entries.
+func dirNames(t *testing.T, dir string) []string {
+	t.Helper()
+	names, err := OSFS{}.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	return names
+}
+
+func TestStoreFreshThenReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, rec := mustOpen(t, dir)
+	if rec != nil {
+		t.Fatalf("fresh Open returned recovered state %+v", rec)
+	}
+	if err := s.Checkpoint(isolated(6), 0); err != nil {
+		t.Fatalf("initial Checkpoint: %v", err)
+	}
+	if seq, err := s.LogSpan(span([2]int{0, 1}, [2]int{2, 3})); err != nil || seq != 1 {
+		t.Fatalf("LogSpan #1 = (%d, %v), want (1, nil)", seq, err)
+	}
+	if seq, err := s.LogGrow(8); err != nil || seq != 2 {
+		t.Fatalf("LogGrow = (%d, %v), want (2, nil)", seq, err)
+	}
+	if seq, err := s.LogSpan(span([2]int{6, 7})); err != nil || seq != 3 {
+		t.Fatalf("LogSpan #2 = (%d, %v), want (3, nil)", seq, err)
+	}
+	if got := s.BatchesSinceCheckpoint(); got != 3 {
+		t.Fatalf("BatchesSinceCheckpoint = %d, want 3", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, rec2 := mustOpen(t, dir)
+	defer s2.Close()
+	if rec2 == nil {
+		t.Fatal("reopen of a checkpointed store returned nil Recovered")
+	}
+	if rec2.SnapshotSeq != 0 {
+		t.Fatalf("SnapshotSeq = %d, want 0", rec2.SnapshotSeq)
+	}
+	if len(rec2.Labels) != 6 {
+		t.Fatalf("recovered %d labels, want 6", len(rec2.Labels))
+	}
+	if len(rec2.Records) != 3 {
+		t.Fatalf("recovered %d records, want 3", len(rec2.Records))
+	}
+	wantKinds := []byte{KindSpan, KindGrow, KindSpan}
+	for i, r := range rec2.Records {
+		if r.Seq != uint64(i+1) || r.Kind != wantKinds[i] {
+			t.Fatalf("record %d = {Seq:%d Kind:%d}, want {Seq:%d Kind:%d}", i, r.Seq, r.Kind, i+1, wantKinds[i])
+		}
+	}
+	if got := rec2.Records[1].N; got != 8 {
+		t.Fatalf("grow record N = %d, want 8", got)
+	}
+	sp := rec2.Records[0].Span
+	if sp.Len() != 2 {
+		t.Fatalf("span record has %d edges, want 2", sp.Len())
+	}
+	if u, v := sp.Edge(0); u != 0 || v != 1 {
+		t.Fatalf("span edge 0 = (%d,%d), want (0,1)", u, v)
+	}
+	if s2.Seq() != 3 || s2.BatchesSinceCheckpoint() != 3 {
+		t.Fatalf("reopened Seq/sinceCkpt = %d/%d, want 3/3", s2.Seq(), s2.BatchesSinceCheckpoint())
+	}
+}
+
+func TestStoreTornTailTruncated(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		mangle      func(data []byte) []byte
+		wantRecords int
+	}{
+		{"trailing garbage", func(d []byte) []byte { return append(d, 0xde, 0xad, 0xbe, 0xef) }, 2},
+		{"half a record", func(d []byte) []byte { return append(d, AppendGrowRecord(nil, 3, 9)[:7]...) }, 2},
+		{"flipped crc bit", func(d []byte) []byte { d[len(d)-1] ^= 0x01; return d }, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, _ := mustOpen(t, dir)
+			if err := s.Checkpoint(isolated(4), 0); err != nil {
+				t.Fatalf("Checkpoint: %v", err)
+			}
+			if _, err := s.LogSpan(span([2]int{0, 1})); err != nil {
+				t.Fatalf("LogSpan: %v", err)
+			}
+			if _, err := s.LogSpan(span([2]int{2, 3})); err != nil {
+				t.Fatalf("LogSpan: %v", err)
+			}
+			s.Close()
+
+			tail := filepath.Join(dir, "wal-0000000000000001.pccw")
+			data, err := os.ReadFile(tail)
+			if err != nil {
+				t.Fatalf("read tail: %v", err)
+			}
+			if err := os.WriteFile(tail, tc.mangle(data), 0o644); err != nil {
+				t.Fatalf("mangle tail: %v", err)
+			}
+
+			s2, rec := mustOpen(t, dir)
+			defer s2.Close()
+			if len(rec.Records) != tc.wantRecords {
+				t.Fatalf("recovered %d records, want %d", len(rec.Records), tc.wantRecords)
+			}
+			if want := uint64(tc.wantRecords); s2.Seq() != want {
+				t.Fatalf("Seq = %d, want %d", s2.Seq(), want)
+			}
+
+			// The damage must be cut away: a third reopen sees the same.
+			s2.Close()
+			s3, rec3 := mustOpen(t, dir)
+			defer s3.Close()
+			if len(rec3.Records) != tc.wantRecords {
+				t.Fatalf("second reopen recovered %d records, want %d", len(rec3.Records), tc.wantRecords)
+			}
+		})
+	}
+}
+
+func TestStoreManifestFallback(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	if err := s.Checkpoint(isolated(4), 0); err != nil {
+		t.Fatalf("Checkpoint(0): %v", err)
+	}
+	if _, err := s.LogSpan(span([2]int{0, 1})); err != nil {
+		t.Fatalf("LogSpan: %v", err)
+	}
+	if _, err := s.LogSpan(span([2]int{1, 2})); err != nil {
+		t.Fatalf("LogSpan: %v", err)
+	}
+	if err := s.Checkpoint([]int32{0, 0, 0, 3}, 2); err != nil {
+		t.Fatalf("Checkpoint(2): %v", err)
+	}
+	if _, err := s.LogSpan(span([2]int{2, 3})); err != nil {
+		t.Fatalf("LogSpan: %v", err)
+	}
+	s.Close()
+
+	// Destroy the newest snapshot: recovery must fall back to the seq-0
+	// snapshot and still reach seq 3 purely from the retained WAL.
+	newest := filepath.Join(dir, "snap-0000000000000002.pccs")
+	if err := os.WriteFile(newest, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatalf("corrupt newest snapshot: %v", err)
+	}
+	s2, rec := mustOpen(t, dir)
+	defer s2.Close()
+	if rec.SnapshotSeq != 0 {
+		t.Fatalf("fell back to snapshot seq %d, want 0", rec.SnapshotSeq)
+	}
+	if len(rec.Records) != 3 {
+		t.Fatalf("recovered %d records from fallback, want 3", len(rec.Records))
+	}
+	if s2.Seq() != 3 {
+		t.Fatalf("Seq = %d, want 3", s2.Seq())
+	}
+}
+
+func TestStoreCheckpointRetention(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	if err := s.Checkpoint(isolated(4), 0); err != nil {
+		t.Fatalf("Checkpoint(0): %v", err)
+	}
+	labels := []int32{0, 0, 0, 3}
+	for seq := uint64(1); seq <= 4; seq++ {
+		if _, err := s.LogSpan(span([2]int{0, 1})); err != nil {
+			t.Fatalf("LogSpan #%d: %v", seq, err)
+		}
+		if seq%2 == 0 {
+			if err := s.Checkpoint(labels, seq); err != nil {
+				t.Fatalf("Checkpoint(%d): %v", seq, err)
+			}
+		}
+	}
+	s.Close()
+
+	// After the seq-4 checkpoint the manifest is [snap4, snap2]: the
+	// seq-0 snapshot and the records at seqs 1–2 (superseded by the
+	// fallback snapshot) must be gone; records 3–4 must be retained.
+	names := dirNames(t, dir)
+	for _, gone := range []string{"snap-0000000000000000.pccs", "wal-0000000000000001.pccw"} {
+		for _, n := range names {
+			if n == gone {
+				t.Fatalf("%s still present after retention: %v", gone, names)
+			}
+		}
+	}
+	var snaps, wals int
+	for _, n := range names {
+		switch {
+		case strings.HasPrefix(n, "snap-"):
+			snaps++
+		case strings.HasPrefix(n, "wal-"):
+			wals++
+		}
+	}
+	if snaps != 2 {
+		t.Fatalf("retained %d snapshots, want 2 (current + fallback): %v", snaps, names)
+	}
+	if wals < 1 || wals > 2 {
+		t.Fatalf("retained %d wal segments, want 1 or 2: %v", wals, names)
+	}
+
+	s2, rec := mustOpen(t, dir)
+	defer s2.Close()
+	if rec.SnapshotSeq != 4 || len(rec.Records) != 0 {
+		t.Fatalf("recovered (snapSeq=%d, %d records), want (4, 0)", rec.SnapshotSeq, len(rec.Records))
+	}
+}
+
+func TestStoreCheckpointSeqOutOfStep(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	defer s.Close()
+	if err := s.Checkpoint(isolated(2), 0); err != nil {
+		t.Fatalf("Checkpoint(0): %v", err)
+	}
+	// Seq is 0: a checkpoint may cover 0 (boundary) or 1 (a rebuild),
+	// nothing else.
+	if err := s.Checkpoint(isolated(2), 2); err == nil {
+		t.Fatal("Checkpoint two seqs ahead succeeded, want error")
+	}
+	if s.Failed() != nil {
+		t.Fatalf("seq validation poisoned the store: %v", s.Failed())
+	}
+	if err := s.Checkpoint(isolated(2), 1); err != nil {
+		t.Fatalf("rebuild checkpoint at seq+1: %v", err)
+	}
+	if s.Seq() != 1 {
+		t.Fatalf("Seq after rebuild checkpoint = %d, want 1", s.Seq())
+	}
+}
+
+func TestStorePoisonedAfterWriteFailure(t *testing.T) {
+	dir := t.TempDir()
+	// Budget measured so the store opens and checkpoints fine, then dies
+	// inside the second LogSpan's write.
+	probe := NewFailFS(OSFS{}, 1<<40)
+	s, _, err := Open(dir, probe)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Checkpoint(isolated(2), 0); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if _, err := s.LogSpan(span([2]int{0, 1})); err != nil {
+		t.Fatalf("LogSpan: %v", err)
+	}
+	budget := probe.Cost() + 3 // partway into the next append's bytes
+	s.Close()
+
+	dir2 := t.TempDir()
+	s2, _, err := Open(dir2, NewFailFS(OSFS{}, budget))
+	if err != nil {
+		t.Fatalf("Open under budget: %v", err)
+	}
+	if err := s2.Checkpoint(isolated(2), 0); err != nil {
+		t.Fatalf("Checkpoint under budget: %v", err)
+	}
+	if _, err := s2.LogSpan(span([2]int{0, 1})); err != nil {
+		t.Fatalf("first LogSpan under budget: %v", err)
+	}
+	if _, err := s2.LogSpan(span([2]int{0, 1})); err == nil {
+		t.Fatal("LogSpan past the write budget succeeded, want injected fault")
+	}
+	if s2.Failed() == nil {
+		t.Fatal("store not poisoned after a write failure")
+	}
+	if _, err := s2.LogSpan(span([2]int{0, 1})); err == nil {
+		t.Fatal("LogSpan on a poisoned store succeeded")
+	}
+	if err := s2.Checkpoint(isolated(2), 2); err == nil {
+		t.Fatal("Checkpoint on a poisoned store succeeded")
+	}
+}

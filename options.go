@@ -93,6 +93,7 @@ type config struct {
 	seed         uint64
 	workers      int
 	backend      Backend
+	backendSet   bool
 	maxRounds    int
 	maxPhases    int
 	growth       float64
@@ -100,6 +101,10 @@ type config struct {
 	disableBoost bool
 	maxLinkIters int
 	combining    bool
+
+	// Durable-service knobs, consulted by Open and Service.Persist only.
+	checkpointEvery int
+	initialVertices int
 }
 
 func defaultConfig() config {
@@ -107,10 +112,28 @@ func defaultConfig() config {
 }
 
 // WithBackend selects the execution engine used by Components. The
-// default is BackendSimulated. The algorithm-specific entry points
-// (ConnectedComponents, ConnectedComponentsLogLog, SpanningForest,
-// VanillaComponents) are simulator-only and ignore this option.
-func WithBackend(b Backend) Option { return func(c *config) { c.backend = b } }
+// default is BackendSimulated — except for pramcc.Open, whose durable
+// replay needs a streaming engine and therefore defaults to
+// BackendIncremental when this option is absent. The
+// algorithm-specific entry points (ConnectedComponents,
+// ConnectedComponentsLogLog, SpanningForest, VanillaComponents) are
+// simulator-only and ignore this option.
+func WithBackend(b Backend) Option {
+	return func(c *config) { c.backend, c.backendSet = b, true }
+}
+
+// WithCheckpointEvery sets how many batches a durable Service
+// (pramcc.Open, Service.Persist) logs to the write-ahead log between
+// snapshot checkpoints: smaller values bound replay time at the cost
+// of more frequent Θ(n) snapshot writes. Values below 1 select the
+// default (64). Non-durable entry points ignore it.
+func WithCheckpointEvery(n int) Option { return func(c *config) { c.checkpointEvery = n } }
+
+// WithInitialVertices sets the vertex count a durable Service starts
+// with when pramcc.Open finds no existing state in its directory. It
+// is ignored on a warm start — there the recovered snapshot defines
+// the vertex set — and by every non-durable entry point.
+func WithInitialVertices(n int) Option { return func(c *config) { c.initialVertices = n } }
 
 // WithSeed sets the random seed. Runs with the same seed make the same
 // random choices regardless of the worker count; only arbitrary-write

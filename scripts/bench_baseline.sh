@@ -15,20 +15,22 @@
 # engine-level BenchmarkEngineIngest* twins, and the fully
 # instrumented BenchmarkIngestSpanInstrumented — the JSON-event-sink
 # worst case, whose delta against BenchmarkIngestSpan is the whole
-# cost of observability) since the last deliberate refresh. Comparison uses benchstat when installed
+# cost of observability), and of the durability layer (BenchmarkWALAppend,
+# the fsync-dominated per-batch ack; BenchmarkRecover, the warm-start
+# scan) since the last deliberate refresh. Comparison uses benchstat when installed
 # (go install golang.org/x/perf/cmd/benchstat@latest) and falls back to
 # printing both result sets side by side when not.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
-BENCH="${BENCH:-BenchmarkComponentsBackends|BenchmarkSolverReuse|BenchmarkNative|BenchmarkIncremental|BenchmarkIngest|BenchmarkEngineIngest|BenchmarkLoad|BenchmarkWriteBinary}"
+BENCH="${BENCH:-BenchmarkComponentsBackends|BenchmarkSolverReuse|BenchmarkNative|BenchmarkIncremental|BenchmarkIngest|BenchmarkEngineIngest|BenchmarkLoad|BenchmarkWriteBinary|BenchmarkWALAppend|BenchmarkRecover}"
 BASELINE=internal/bench/testdata/baseline.txt
 CURRENT="$(mktemp /tmp/bench_current.XXXXXX.txt)"
 trap 'rm -f "$CURRENT"' EXIT
 
-echo ">> go test -run '^$' -bench '$BENCH' -count $COUNT (., ./internal/native, ./internal/incremental, ./graph)"
-go test -run '^$' -bench "$BENCH" -count "$COUNT" . ./internal/native ./internal/incremental ./graph | tee "$CURRENT"
+echo ">> go test -run '^$' -bench '$BENCH' -count $COUNT (., ./internal/native, ./internal/incremental, ./internal/durable, ./graph)"
+go test -run '^$' -bench "$BENCH" -count "$COUNT" . ./internal/native ./internal/incremental ./internal/durable ./graph | tee "$CURRENT"
 
 if [ "${1:-}" = "update" ]; then
     mkdir -p "$(dirname "$BASELINE")"

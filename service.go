@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/graph"
+	"repro/internal/durable"
 )
 
 // Service is the serving layer over a Solver: a connectivity service
@@ -27,6 +28,16 @@ type Service struct {
 	solver *Solver
 	snap   atomic.Pointer[Result]
 	closed bool
+
+	// Durability (nil/zero on a plain in-memory service). store is the
+	// snapshot+WAL store every accepted batch is logged to before its
+	// snapshot publishes; ckptEvery is the checkpoint cadence in logged
+	// batches; recovery describes the warm start that produced this
+	// service, when there was one. All three are set once — by Open or
+	// Persist — under mu and never change afterwards.
+	store     *durable.Store
+	ckptEvery int
+	recovery  *RecoveryStats
 }
 
 // NewService builds a Service over n isolated vertices (the initial
@@ -86,7 +97,10 @@ func (sv *Service) Update(ctx context.Context, g *graph.Graph) (*Result, error) 
 		// so a cancelled or failed solve has wiped its live labeling.
 		// Snap it back to the published snapshot: queries never saw
 		// the failure, and the next Ingest must continue from what
-		// they see, not from a half-built forest.
+		// they see, not from a half-built forest. On a persisted
+		// service the store is untouched here — nothing was logged for
+		// the failed rebuild, so the WAL position still matches the
+		// published snapshot and replay cannot double-apply.
 		if st, ok := sv.solver.eng.(streamEngine); ok {
 			st.restore(sv.snap.Load().Labels)
 		}
@@ -101,6 +115,24 @@ func (sv *Service) Update(ctx context.Context, g *graph.Graph) (*Result, error) 
 		Labels:        append([]int32(nil), res.Labels...),
 		NumComponents: res.NumComponents,
 		Stats:         res.Stats,
+	}
+	if sv.store != nil {
+		// A full rebuild replaces the labeling wholesale, so it must be
+		// checkpointed before it publishes — there is no batch record
+		// that could reproduce it on replay. It consumes a sequence
+		// number of its own (Seq+1) so recovery never replays a
+		// pre-rebuild WAL record on top of the rebuilt snapshot.
+		if err := sv.store.Checkpoint(pub.Labels, sv.store.Seq()+1); err != nil {
+			if st, ok := sv.solver.eng.(streamEngine); ok {
+				st.restore(sv.snap.Load().Labels)
+			}
+			mUpdateErrors.Inc()
+			if obsEnabled() {
+				emitService("update", statusOf(err), time.Since(start),
+					map[string]float64{"n": float64(g.N), "edges": float64(g.NumEdges())})
+			}
+			return nil, err
+		}
 	}
 	sv.publish(pub)
 	mUpdates.Inc()
@@ -172,7 +204,26 @@ func (sv *Service) IngestSpan(ctx context.Context, span graph.EdgeSpan) (*Result
 	start := time.Now()
 	var out solveOutput
 	components, err := st.ingest(ctx, span, &out)
+	if err == nil && sv.store != nil {
+		// Durability barrier: the batch must be in the WAL (fsynced)
+		// before its snapshot publishes, so an acknowledged labeling can
+		// always be reconstructed. Checkpoint on the same boundary when
+		// the cadence is due — the labeling is already in hand.
+		if _, lerr := sv.store.LogSpan(span); lerr != nil {
+			err = lerr
+		} else if sv.store.BatchesSinceCheckpoint() >= sv.ckptEvery {
+			err = sv.store.Checkpoint(out.labels, sv.store.Seq())
+		}
+	}
 	if err != nil {
+		if sv.store != nil {
+			// The batch may be half-applied (a cancelled ingest) or
+			// applied but unlogged (a WAL failure). Either way the live
+			// forest must snap back to the published labeling: unions
+			// that never reached the WAL must not ride along under a
+			// later batch's snapshot, or replay would lose them.
+			st.restore(sv.snap.Load().Labels)
+		}
 		mIngestErrors.Inc()
 		if obsEnabled() {
 			emitService("ingest_span", statusOf(err), time.Since(start),
@@ -218,6 +269,13 @@ func (sv *Service) Grow(n int) error {
 	cur := sv.snap.Load()
 	if n <= len(cur.Labels) {
 		return nil
+	}
+	if sv.store != nil {
+		// Logged before the engine widens: a grow that fails to reach
+		// the WAL must not change what queries (or replay) can see.
+		if _, err := sv.store.LogGrow(n); err != nil {
+			return err
+		}
 	}
 	st.grow(n)
 	labels := make([]int32, n)
@@ -294,5 +352,8 @@ func (sv *Service) Close() {
 	if !sv.closed {
 		sv.closed = true
 		sv.solver.Close()
+		if sv.store != nil {
+			sv.store.Close()
+		}
 	}
 }
