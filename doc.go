@@ -141,6 +141,18 @@
 // atomically replaced MANIFEST) and the recovery procedure are
 // documented in OPERATIONS.md.
 //
+// # Static analysis
+//
+// The invariants above — snapshots touched only through their atomic
+// methods and never mutated after publication, zero-allocation ingest
+// interiors, ctx checks at every engine round boundary, WAL append
+// before snapshot publish, pramcc_-prefixed documented metric names —
+// are enforced statically by cmd/cclint, the custom analyzer suite in
+// internal/analysis, wired into CI as a required gate. Hot paths are
+// marked //pramcc:zeroalloc; intentional exceptions carry
+// //pramcc:allow with a reason. CONTRIBUTING.md documents the
+// analyzers, both directives, and the fixture workflow.
+//
 // # Graph formats and loading
 //
 // Graphs enter the system in two on-disk formats, and every consumer

@@ -35,6 +35,8 @@ type Graph struct {
 }
 
 // NumEdges returns the number of undirected edges (arc pairs).
+//
+//pramcc:zeroalloc
 func (g *Graph) NumEdges() int { return len(g.U) / 2 }
 
 // NumArcs returns the number of directed arcs (2 per undirected edge).

@@ -27,11 +27,15 @@ type EdgeSpan struct {
 
 // Span returns the zero-copy span of every edge of g, aliasing the
 // graph's arc columns. The span is invalidated by AddEdge.
+//
+//pramcc:zeroalloc
 func (g *Graph) Span() EdgeSpan {
 	return EdgeSpan{U: g.U, V: g.V}
 }
 
 // Len returns the number of undirected edges (arc pairs) in the span.
+//
+//pramcc:zeroalloc
 func (s EdgeSpan) Len() int { return len(s.U) / 2 }
 
 // Edge returns the endpoints of undirected edge i.

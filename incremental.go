@@ -108,10 +108,14 @@ func (inc *Incremental) AddSpan(span graph.EdgeSpan) (BatchStats, error) {
 
 // SameComponent reports whether v and w are connected by the edges of
 // all completed batches.
+//
+//pramcc:zeroalloc
 func (inc *Incremental) SameComponent(v, w int) bool { return inc.eng.SameComponent(v, w) }
 
 // ComponentCount returns the number of components as of the last
 // completed batch (N before any batch).
+//
+//pramcc:zeroalloc
 func (inc *Incremental) ComponentCount() int { return inc.eng.ComponentCount() }
 
 // Labels returns a copy of the current flattened labeling: two
@@ -130,11 +134,15 @@ func (inc *Incremental) Labels() []int32 {
 // snapshot-consistent (one atomic snapshot read, then a plain copy)
 // and safe to call concurrently with an in-flight ingest, which it
 // never observes half-done. A nil dst simply allocates.
+//
+//pramcc:zeroalloc
 func (inc *Incremental) LabelsInto(dst []int32) []int32 {
 	return labelsInto(dst, inc.eng.Snapshot().Labels)
 }
 
 // N returns the vertex count the handle was created with.
+//
+//pramcc:zeroalloc
 func (inc *Incremental) N() int { return inc.eng.N() }
 
 // BatchCount returns how many batches have been ingested.

@@ -1,0 +1,298 @@
+// Package analysis is cclint's analyzer suite: five static checks
+// that hold the repo's load-bearing invariants by construction instead
+// of by reviewer folklore and late-firing runtime tests.
+//
+//   - atomicpub: atomic.Pointer/atomic.Value state is touched only
+//     through its atomic methods, and a snapshot is never mutated
+//     after it has been Stored (the write-after-publish bug class the
+//     Service and the incremental engine are designed around).
+//   - zeroalloc: functions marked //pramcc:zeroalloc — the span-ingest
+//     and solve hot paths pinned by TestSpanIngestZeroAlloc and
+//     TestSolverSolveZeroAllocNative — contain no allocating
+//     constructs and call only marked or known-allocation-free code.
+//   - ctxround: engine round/batch loops reach a ctx.Err()/Done()
+//     check, and exported engine entry points with unbounded loops
+//     accept a context.Context (the PR-4 cancellation contract).
+//   - waldiscipline: on the Service persist path, snapshot publication
+//     is preceded by the corresponding WAL append/checkpoint, and in
+//     internal/durable a manifest swap is preceded by a data fsync
+//     (the PR-7 durability barrier).
+//   - metricdoc: every metric registered on the obs registry uses a
+//     constant pramcc_-prefixed name that is documented in
+//     OPERATIONS.md (the scripts/check_docs.sh grep, with positions).
+//
+// Two comment directives steer the suite. `//pramcc:zeroalloc` in a
+// function's doc comment opts the function into the zeroalloc check.
+// `//pramcc:allow <analyzer> -- <reason>` on (or immediately above) a
+// flagged line suppresses one analyzer's diagnostic there; the reason
+// is mandatory and the suite's own tests keep the allowlist from
+// growing silently. CONTRIBUTING.md documents both.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis/load"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -run selections,
+	// and //pramcc:allow directives.
+	Name string
+	// Doc is a one-line description for cclint -help.
+	Doc string
+	// Run reports the analyzer's diagnostics for pass.Pkg.
+	Run func(pass *Pass)
+}
+
+// A Pass carries one package through one analyzer.
+type Pass struct {
+	Pkg *load.Package
+	// Fset positions every node of Pkg.Files.
+	Fset *token.FileSet
+	// ZeroallocMarks holds the //pramcc:zeroalloc-marked functions of
+	// the whole module, keyed by funcKey-style strings, so cross-
+	// package calls resolve even under partial patterns.
+	ZeroallocMarks map[string]bool
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records one diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, positioned for editors and CI logs.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// ---- directives ----
+
+const (
+	allowDirective     = "//pramcc:allow"
+	zeroallocDirective = "//pramcc:zeroalloc"
+)
+
+var allowRe = regexp.MustCompile(`^//pramcc:allow\s+([a-z]+)\s+--\s+\S`)
+
+// allowKey addresses one source line for suppression lookup.
+type allowKey struct {
+	file string
+	line int
+}
+
+// collectAllows gathers every //pramcc:allow directive of the files:
+// map from (file, line) to the analyzer names allowed there. A
+// malformed directive (missing analyzer or missing `-- reason`) is
+// itself a diagnostic — a suppression that silently fails to parse
+// would un-suppress on refactor.
+func collectAllows(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) map[allowKey][]string {
+	allows := map[allowKey][]string{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, allowDirective) {
+					continue
+				}
+				m := allowRe.FindStringSubmatch(text)
+				pos := fset.Position(c.Pos())
+				if m == nil {
+					*diags = append(*diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "directive",
+						Message:  "malformed //pramcc:allow: want `//pramcc:allow <analyzer> -- <reason>`",
+					})
+					continue
+				}
+				k := allowKey{file: pos.Filename, line: pos.Line}
+				allows[k] = append(allows[k], m[1])
+			}
+		}
+	}
+	return allows
+}
+
+// suppressed reports whether d is covered by an allow directive on the
+// same line or the line directly above (the nolint convention).
+func suppressed(d Diagnostic, allows map[allowKey][]string) bool {
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, name := range allows[allowKey{file: d.Pos.Filename, line: line}] {
+			if name == d.Analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasZeroallocMark reports whether fn's doc comment carries the
+// //pramcc:zeroalloc directive.
+func hasZeroallocMark(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), zeroallocDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- shared type helpers ----
+
+// namedType unwraps pointers and aliases down to a *types.Named, nil
+// when t has none.
+func namedType(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		case *types.Alias:
+			t = types.Unalias(t)
+		default:
+			return nil
+		}
+	}
+}
+
+// isPkgType reports whether t (through pointers/aliases) is the named
+// type pkgPath.name.
+func isPkgType(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// isAtomicType reports whether t is a sync/atomic value type
+// (Pointer[T], Value, Int64, Bool, ...).
+func isAtomicType(t types.Type) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return isPkgType(t, "context", "Context")
+}
+
+// calleeFunc resolves the *types.Func a call expression statically
+// invokes: a plain function, a method, or a generic instance. Dynamic
+// calls (through func-typed values) and conversions return nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call: obs.Enabled().
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if fn, ok := info.Uses[id].(*types.Func); ok {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+// funcKey names a function for the cross-package zeroalloc mark table:
+// "pkgpath.Recv.Name" with Recv empty for plain functions. Methods on
+// generic types use the origin type name, so atomic.Pointer[T] methods
+// collapse to one key.
+func funcKey(fn *types.Func) string {
+	recv := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if n := namedType(sig.Recv().Type()); n != nil {
+			recv = n.Obj().Name()
+		} else {
+			recv = "_" // interface or unusual receiver
+		}
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	return pkg + "." + recv + "." + fn.Name()
+}
+
+// declKey is funcKey computed from syntax, for building the mark table
+// before (or without) type-checking a package.
+func declKey(pkgPath string, fn *ast.FuncDecl) string {
+	recv := ""
+	if fn.Recv != nil && len(fn.Recv.List) > 0 {
+		t := fn.Recv.List[0].Type
+		for {
+			switch u := t.(type) {
+			case *ast.StarExpr:
+				t = u.X
+				continue
+			case *ast.IndexExpr: // generic receiver T[P]
+				t = u.X
+				continue
+			case *ast.IndexListExpr:
+				t = u.X
+				continue
+			case *ast.Ident:
+				recv = u.Name
+			}
+			break
+		}
+	}
+	return pkgPath + "." + recv + "." + fn.Name.Name
+}
+
+// walkStack runs fn over every node of root with the ancestor stack
+// (outermost first, not including n itself). Returning false prunes
+// the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

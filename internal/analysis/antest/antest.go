@@ -1,0 +1,132 @@
+// Package antest is a minimal analysistest: it runs one analyzer over
+// fixture packages and compares the diagnostics against `// want
+// "regex"` comments in the fixture sources. Fixtures live under
+// internal/analysis/testdata/src, which is its own module (the
+// testdata path keeps the go tool from treating it as part of this
+// one), so the loader resolves them exactly as it resolves real
+// packages.
+package antest
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile(`// want ("(?:[^"\\]|\\.)*")`)
+
+// A want is one expected diagnostic: a message pattern anchored to a
+// file and line.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the given packages (paths relative to fixtureRoot, e.g.
+// "./atomicpub") with the suite loader, runs just analyzer a (plus the
+// always-on directive validation), and requires the surviving
+// diagnostics to line up one-to-one with the fixtures' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, fixtureRoot string, pkgs ...string) {
+	t.Helper()
+
+	res, err := analysis.RunSuite(fixtureRoot, pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", pkgs, err)
+	}
+
+	var wants []*want
+	for _, pkg := range pkgs {
+		dir := filepath.Join(fixtureRoot, strings.TrimPrefix(pkg, "./"))
+		ws, err := scanWants(dir)
+		if err != nil {
+			t.Fatalf("scanning wants in %s: %v", dir, err)
+		}
+		wants = append(wants, ws...)
+	}
+
+	for _, d := range res.Diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched want covering d and reports whether
+// one existed.
+func claim(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.line != d.Pos.Line || !sameFile(w.file, d.Pos.Filename) {
+			continue
+		}
+		if w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func sameFile(a, b string) bool {
+	aa, err1 := filepath.Abs(a)
+	bb, err2 := filepath.Abs(b)
+	if err1 != nil || err2 != nil {
+		return a == b
+	}
+	return aa == bb
+}
+
+// scanWants extracts want comments from the non-test .go files of dir.
+func scanWants(dir string) ([]*want, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*want
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+				lit, err := strconv.Unquote(m[1])
+				if err != nil {
+					f.Close()
+					return nil, fmt.Errorf("%s:%d: bad want literal %s: %v", path, line, m[1], err)
+				}
+				re, err := regexp.Compile(lit)
+				if err != nil {
+					f.Close()
+					return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", path, line, lit, err)
+				}
+				out = append(out, &want{file: path, line: line, pattern: re})
+			}
+		}
+		if err := sc.Err(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Close()
+	}
+	return out, nil
+}

@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomicpub enforces the atomic-publication discipline behind the
+// Service and engine snapshots: state held in sync/atomic value types
+// (atomic.Pointer[T], atomic.Value, atomic.Int64, ...) may be touched
+// only through its atomic methods — never assigned, copied out, or
+// address-taken — and a snapshot handed to Store must not be mutated
+// afterwards in the same function. The second rule targets the
+// write-after-publish bug class: readers hold the stored pointer
+// lock-free forever, so any later write through it is a data race and
+// a torn snapshot.
+var Atomicpub = &Analyzer{
+	Name: "atomicpub",
+	Doc:  "atomic.Pointer/Value state is accessed only via atomic methods and never mutated after Store",
+	Run:  runAtomicpub,
+}
+
+func runAtomicpub(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkStoreThenMutate(pass, n.Body)
+				}
+			case *ast.SelectorExpr:
+				checkAtomicUse(pass, n, stack)
+			case *ast.Ident:
+				// Package-level atomic vars get the same protection as
+				// fields (the obs sink, the publish-age clocks).
+				if len(stack) > 0 {
+					if sel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && sel.Sel == n {
+						return true // handled as SelectorExpr
+					}
+				}
+				if obj, ok := info.Uses[n].(*types.Var); ok && !obj.IsField() && isAtomicType(obj.Type()) {
+					checkAtomicExprUse(pass, n, stack)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkAtomicUse vets one selector expression that may name an atomic
+// field.
+func checkAtomicUse(pass *Pass, sel *ast.SelectorExpr, stack []ast.Node) {
+	s, ok := pass.Pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	if !isAtomicType(s.Obj().Type()) {
+		return
+	}
+	checkAtomicExprUse(pass, sel, stack)
+}
+
+// checkAtomicExprUse checks that the atomic-typed expression e (a field
+// selector or a package/local variable) appears only as the receiver
+// of a method call. Anything else — assignment in either direction,
+// unary &, function argument — bypasses or copies the atomic and is
+// exactly the mistake the type exists to prevent.
+func checkAtomicExprUse(pass *Pass, e ast.Expr, stack []ast.Node) {
+	if len(stack) == 0 {
+		return
+	}
+	parent := stack[len(stack)-1]
+	// Receiver position: parent is a SelectorExpr whose X is e and
+	// which is itself called (or whose selection is a method).
+	if psel, ok := parent.(*ast.SelectorExpr); ok && psel.X == e {
+		if s, ok := pass.Pkg.Info.Selections[psel]; ok && s.Kind() == types.MethodVal {
+			// Method *value* (x.Load stored or passed) still reads the
+			// atomic safely; only a call is typical, but both are sound.
+			return
+		}
+	}
+	// Declarations and composite-literal zero values are not uses.
+	switch parent.(type) {
+	case *ast.Field, *ast.ValueSpec:
+		return
+	}
+	name := atomicExprName(e)
+	switch p := parent.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == e {
+				pass.Reportf(e.Pos(), "%s has atomic type %s and must not be assigned; use Store", name, typeOf(pass, e))
+				return
+			}
+		}
+		pass.Reportf(e.Pos(), "%s has atomic type %s and must not be copied; use Load", name, typeOf(pass, e))
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			pass.Reportf(e.Pos(), "%s has atomic type %s; taking its address defeats the Load/Store discipline", name, typeOf(pass, e))
+		}
+	default:
+		pass.Reportf(e.Pos(), "%s has atomic type %s and may only be used as the receiver of its atomic methods", name, typeOf(pass, e))
+	}
+}
+
+func typeOf(pass *Pass, e ast.Expr) types.Type {
+	return pass.Pkg.Info.TypeOf(e)
+}
+
+// atomicExprName renders e for diagnostics.
+func atomicExprName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return atomicExprName(e.X) + "." + e.Sel.Name
+	default:
+		return "expression"
+	}
+}
+
+// checkStoreThenMutate flags writes through a pointer after it has
+// been Stored into an atomic.Pointer/atomic.Value within the same
+// function body: the snapshot became shared at the Store, so every
+// later assignment rooted at it is a write after publish. The check is
+// position-based over the function body — a deliberate over-
+// approximation (an else-branch write after a then-branch Store is
+// still flagged) because the fix, building the snapshot fully before
+// publishing it, is always available.
+func checkStoreThenMutate(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+
+	// Pass 1: collect (object, Store position) for every x.Store(ptr)
+	// on an atomic.Pointer/Value receiver where ptr is a local.
+	type publication struct {
+		obj *types.Var
+		pos token.Pos
+	}
+	var pubs []publication
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Store" {
+			return true
+		}
+		recvT := info.TypeOf(sel.X)
+		if recvT == nil || !isAtomicType(recvT) {
+			return true
+		}
+		arg := ast.Unparen(call.Args[0])
+		if id, ok := arg.(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok {
+				pubs = append(pubs, publication{obj: v, pos: call.Pos()})
+			}
+		}
+		return true
+	})
+	if len(pubs) == 0 {
+		return
+	}
+
+	// Pass 2: any assignment whose LHS roots at a published object,
+	// positioned after its Store, is a write after publish.
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			root := lhsRoot(lhs)
+			if root == nil {
+				continue
+			}
+			v, ok := info.Uses[root].(*types.Var)
+			if !ok {
+				continue
+			}
+			for _, pub := range pubs {
+				if pub.obj == v && as.Pos() > pub.pos && lhs != root {
+					pass.Reportf(as.Pos(), "%s is mutated after being published via Store; snapshots must be immutable once stored", v.Name())
+					return true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lhsRoot peels selectors, indexes, and stars off an assignment target
+// down to its base identifier: p.Labels[i] -> p. Returns nil when the
+// base is not a plain identifier.
+func lhsRoot(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Metricdoc is the scripts/check_docs.sh metric grep rebuilt as a real
+// analyzer with positions: every metric registered on the obs registry
+// (Counter/Gauge/GaugeFunc/Histogram on obs.Registry) must use a
+// compile-time constant name, the name must carry the pramcc_ prefix,
+// and the name must appear in OPERATIONS.md at the module root — a
+// metric the runbook does not document is a metric on-call cannot use.
+var Metricdoc = &Analyzer{
+	Name: "metricdoc",
+	Doc:  "obs registry metric names are pramcc_-prefixed constants documented in OPERATIONS.md",
+	Run:  runMetricdoc,
+}
+
+var metricRegistrars = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"GaugeFunc": true,
+	"Histogram": true,
+}
+
+func runMetricdoc(pass *Pass) {
+	var opsDoc string
+	var opsDocErr bool
+	loadOps := func() {
+		if opsDoc != "" || opsDocErr {
+			return
+		}
+		b, err := os.ReadFile(filepath.Join(pass.Pkg.ModuleDir, "OPERATIONS.md"))
+		if err != nil {
+			opsDocErr = true
+			return
+		}
+		opsDoc = string(b)
+	}
+
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !isRegistryMethod(pass, call) {
+				return true
+			}
+			tv, ok := pass.Pkg.Info.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(call.Args[0].Pos(), "metric name must be a compile-time constant string so the runbook check can see it")
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !strings.HasPrefix(name, "pramcc_") {
+				pass.Reportf(call.Args[0].Pos(), "metric %q is not pramcc_-prefixed; all of this service's metrics share the pramcc_ namespace", name)
+				return true
+			}
+			loadOps()
+			if opsDocErr {
+				pass.Reportf(call.Args[0].Pos(), "metric %q cannot be checked against OPERATIONS.md: file not found at module root %s", name, pass.Pkg.ModuleDir)
+				return true
+			}
+			if !strings.Contains(opsDoc, name) {
+				pass.Reportf(call.Args[0].Pos(), "metric %q is not documented in OPERATIONS.md; add it to the metrics table", name)
+			}
+			return true
+		})
+	}
+}
+
+// isRegistryMethod matches registration calls on the obs Registry:
+// methods named Counter/Gauge/GaugeFunc/Histogram whose receiver is a
+// type named Registry in a package named obs.
+func isRegistryMethod(pass *Pass, call *ast.CallExpr) bool {
+	if !metricRegistrars[calleeName(call)] {
+		return false
+	}
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "obs" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	n := namedType(sig.Recv().Type())
+	return n != nil && n.Obj().Name() == "Registry"
+}

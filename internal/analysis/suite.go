@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+
+	"repro/internal/analysis/load"
+)
+
+// Analyzers returns the full cclint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Atomicpub, Zeroalloc, Ctxround, Waldiscipline, Metricdoc}
+}
+
+// ByName resolves a comma-free analyzer name, nil if unknown.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// SuiteResult is the outcome of one RunSuite call.
+type SuiteResult struct {
+	// Diags are the surviving (unsuppressed) diagnostics, sorted by
+	// position.
+	Diags []Diagnostic
+	// Suppressed counts diagnostics silenced by //pramcc:allow.
+	Suppressed int
+	// Packages counts the root packages analyzed.
+	Packages int
+}
+
+// RunSuite loads patterns relative to dir and runs the given analyzers
+// (all of them when analyzers is nil) over every matched package.
+// //pramcc:zeroalloc marks are collected module-wide — from the roots
+// and from their module-local dependencies — so partial patterns agree
+// with full runs, and //pramcc:allow directives are applied before
+// diagnostics are returned.
+func RunSuite(dir string, patterns []string, analyzers []*Analyzer) (*SuiteResult, error) {
+	if analyzers == nil {
+		analyzers = Analyzers()
+	}
+	res, err := load.Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	marks := map[string]bool{}
+	collectMarks := func(importPath string, files []*ast.File) {
+		for _, f := range files {
+			for _, decl := range f.Decls {
+				if fn, ok := decl.(*ast.FuncDecl); ok && hasZeroallocMark(fn) {
+					marks[declKey(importPath, fn)] = true
+				}
+			}
+		}
+	}
+	for _, pkg := range res.Pkgs {
+		collectMarks(pkg.ImportPath, pkg.Files)
+	}
+	depFiles, err := load.ScanDirs(res.Fset, res.DepDirs)
+	if err != nil {
+		return nil, err
+	}
+	for importPath, files := range depFiles {
+		collectMarks(importPath, files)
+	}
+
+	var all []Diagnostic
+	allows := map[allowKey][]string{}
+	for _, pkg := range res.Pkgs {
+		for k, v := range collectAllows(res.Fset, pkg.Files, &all) {
+			allows[k] = append(allows[k], v...)
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Pkg:            pkg,
+				Fset:           res.Fset,
+				ZeroallocMarks: marks,
+				analyzer:       a,
+				diags:          &all,
+			}
+			a.Run(pass)
+		}
+	}
+
+	out := &SuiteResult{Packages: len(res.Pkgs)}
+	for _, d := range all {
+		if suppressed(d, allows) {
+			out.Suppressed++
+			continue
+		}
+		out.Diags = append(out.Diags, d)
+	}
+	sort.Slice(out.Diags, func(i, j int) bool {
+		a, b := out.Diags[i].Pos, out.Diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}
+
+// Validate sanity-checks a -run selection against the suite.
+func Validate(names []string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, name := range names {
+		a := ByName(name)
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q (have: atomicpub, zeroalloc, ctxround, waldiscipline, metricdoc)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,70 @@
+// Package atomicpub holds fixtures for the atomicpub analyzer: atomic
+// fields used correctly, each forbidden use shape, and the
+// store-then-mutate publication bug.
+package atomicpub
+
+import "sync/atomic"
+
+// Snap is the published snapshot type.
+type Snap struct {
+	Labels []int32
+	N      int
+}
+
+// S mirrors the Service/Engine shape: an atomic snapshot slot plus
+// scalar atomics.
+type S struct {
+	snap atomic.Pointer[Snap]
+	val  atomic.Value
+	cnt  atomic.Int64
+}
+
+var gate atomic.Bool
+
+// goodUse touches every atomic only through its methods.
+func goodUse(s *S) *Snap {
+	s.cnt.Add(1)
+	if gate.Load() {
+		return nil
+	}
+	p := &Snap{N: 1}
+	p.N = 2 // near miss: mutation before the Store is fine
+	s.snap.Store(p)
+	return s.snap.Load()
+}
+
+func badCopy(s *S) {
+	_ = s.snap // want "must not be copied"
+}
+
+func badAssign(s *S) {
+	s.cnt = atomic.Int64{} // want "must not be assigned"
+}
+
+func badAddr(s *S) *atomic.Int64 {
+	return &s.cnt // want "taking its address"
+}
+
+func badPkgVarCopy() {
+	c := gate // want "must not be copied"
+	_ = c.Load()
+}
+
+func badPublish(s *S) {
+	p := &Snap{}
+	s.snap.Store(p)
+	p.N = 2 // want "mutated after being published"
+}
+
+func badPublishDeep(s *S) {
+	p := &Snap{Labels: make([]int32, 4)}
+	s.val.Store(p)
+	p.Labels[0] = 1 // want "mutated after being published"
+}
+
+func goodRebind(s *S) {
+	p := &Snap{N: 1}
+	s.snap.Store(p)
+	p = &Snap{N: 2} // near miss: rebinding the variable is not a write through it
+	s.snap.Store(p)
+}

@@ -1,0 +1,7 @@
+// Package directive holds the fixture for allow-directive validation:
+// a suppression that fails to parse must be a diagnostic itself, never
+// a silent no-op.
+package directive
+
+//pramcc:allow zeroalloc missing the reason separator // want "malformed"
+func f() int { return 0 }

@@ -1,0 +1,38 @@
+// Package durable is a fixture stub of the real internal/durable
+// surface (the analyzer detects the Store by package and type name)
+// plus fixtures for the manifest-after-fsync subrule, which only
+// applies inside a package named durable.
+package durable
+
+import "os"
+
+// Store mirrors the real WAL-backed store's append surface.
+type Store struct {
+	f *os.File
+}
+
+// LogSpan appends a span batch record to the WAL.
+func (s *Store) LogSpan(u, v []int32) error { return nil }
+
+// LogGrow appends a grow record to the WAL.
+func (s *Store) LogGrow(n int) error { return nil }
+
+// Checkpoint writes a full snapshot and truncates the WAL.
+func (s *Store) Checkpoint(labels []int32) error { return nil }
+
+func writeManifest(dir string) error { return nil }
+
+// swapGood fsyncs the data file before swapping the manifest, like the
+// real Checkpoint.
+func (s *Store) swapGood() error {
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	return writeManifest("snap")
+}
+
+// swapBad points the manifest at data that may still be in the page
+// cache.
+func (s *Store) swapBad() error {
+	return writeManifest("snap") // want "before the snapshot data is fsynced"
+}

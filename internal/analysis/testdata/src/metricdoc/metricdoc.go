@@ -1,0 +1,29 @@
+// Package metricdoc holds fixtures for the metric-name analyzer:
+// documented, undocumented, unprefixed, and non-constant names, plus a
+// same-named method on a non-registry type.
+package metricdoc
+
+import "fixture/obs"
+
+const goodName = "pramcc_documented_total"
+
+var (
+	good = obs.Default.Counter(goodName, "documented in the fixture OPERATIONS.md")
+	miss = obs.Default.Counter("pramcc_missing_total", "nowhere in the runbook") // want "not documented in OPERATIONS.md"
+	pref = obs.Default.Gauge("cc_bad_prefix_total", "wrong namespace")           // want "not pramcc_-prefixed"
+	dynm = obs.Default.Counter(dyn(), "assembled at runtime")                    // want "compile-time constant"
+)
+
+func dyn() string { return "pramcc_dyn_total" }
+
+func init() {
+	obs.Default.Histogram("pramcc_documented_total", "re-registered under a documented name", nil)
+	obs.Default.GaugeFunc("pramcc_missing_total", "computed", func() float64 { return 0 }) // want "not documented in OPERATIONS.md"
+}
+
+// fake has a Counter method that is not a registration: near miss.
+type fake struct{}
+
+func (fake) Counter(name, help string) int { return 0 }
+
+var _ = fake{}.Counter("anything_goes", "not a metric")

@@ -1,0 +1,39 @@
+// Package obs is a fixture stub of the real internal/obs surface: the
+// analyzers detect the cold gate and the metric registry by package
+// and type name, so this stub exercises the same detection paths.
+package obs
+
+// Enabled is the observability cold gate.
+//
+//pramcc:zeroalloc
+func Enabled() bool { return false }
+
+// Emit is deliberately unmarked: calls to it must sit under the cold
+// gate in zeroalloc-marked functions, exactly like the real Emit.
+func Emit(name string) {}
+
+// Registry mirrors the real metric registry's registration surface.
+type Registry struct{}
+
+// Default is the fixture's registry instance.
+var Default = &Registry{}
+
+// Counter registers a counter.
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+
+// Gauge registers a gauge.
+func (r *Registry) Gauge(name, help string) *Counter { return &Counter{} }
+
+// GaugeFunc registers a computed gauge.
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {}
+
+// Histogram registers a histogram.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Counter { return &Counter{} }
+
+// Counter is the stub metric handle.
+type Counter struct{}
+
+// Inc is allocation-free, like the real counter.
+//
+//pramcc:zeroalloc
+func (c *Counter) Inc() {}

@@ -1,0 +1,63 @@
+// Package waldiscipline holds fixtures for the WAL-before-publish
+// rule: the Service persist-path shape with the append and the
+// publication in both orders.
+package waldiscipline
+
+import (
+	"sync/atomic"
+
+	"fixture/durable"
+)
+
+// Result is the published snapshot type.
+type Result struct {
+	Labels []int32
+}
+
+// Service mirrors the real Service: an atomic snapshot slot next to a
+// durable store.
+type Service struct {
+	snap  atomic.Pointer[Result]
+	store *durable.Store
+}
+
+func (sv *Service) publish(r *Result) { sv.snap.Store(r) }
+
+// goodIngest logs the span, then publishes — the PR-7 order.
+func (sv *Service) goodIngest(u, v []int32) error {
+	if err := sv.store.LogSpan(u, v); err != nil {
+		return err
+	}
+	sv.publish(&Result{})
+	return nil
+}
+
+// badIngest publishes state the WAL cannot replay yet — the
+// acceptance bug for this analyzer.
+func (sv *Service) badIngest(u, v []int32) error {
+	sv.publish(&Result{}) // want "published before .or without. the corresponding WAL append"
+	return sv.store.LogSpan(u, v)
+}
+
+// badDirect stores into the snapshot slot directly, same bug.
+func (sv *Service) badDirect(r *Result, n int) error {
+	sv.snap.Store(r) // want "published before .or without. the corresponding WAL append"
+	return sv.store.LogGrow(n)
+}
+
+// goodCheckpoint: a checkpoint is also a WAL-discipline append.
+func (sv *Service) goodCheckpoint(r *Result) error {
+	if sv.store != nil {
+		if err := sv.store.Checkpoint(r.Labels); err != nil {
+			return err
+		}
+	}
+	sv.publish(r)
+	return nil
+}
+
+// memPublish never touches the durable store: near miss, the rule
+// does not apply to purely in-memory services.
+func (sv *Service) memPublish() {
+	sv.publish(&Result{})
+}

@@ -1,0 +1,96 @@
+// Package zeroalloc holds fixtures for the zeroalloc analyzer: one
+// fully compliant hot function, each allocating construct, the cold
+// gate, the deferred-closure exemption, and the allow directive.
+package zeroalloc
+
+import (
+	"fmt"
+
+	"fixture/obs"
+)
+
+// hotGood is the labelsInto shape: reuse-or-grow with an allow on the
+// grow, a copy, and cold-gated event emission.
+//
+//pramcc:zeroalloc
+func hotGood(dst, src []int32) []int32 {
+	if cap(dst) < len(src) {
+		//pramcc:allow zeroalloc -- fixture: grow-or-reuse contract
+		dst = make([]int32, len(src))
+	}
+	dst = dst[:len(src)]
+	copy(dst, src)
+	if obs.Enabled() {
+		obs.Emit(fmt.Sprintf("copied %d", len(src))) // near miss: cold gate, not flagged
+	}
+	return dst
+}
+
+// hotGated uses the bool-local form of the cold gate.
+//
+//pramcc:zeroalloc
+func hotGated(n int) {
+	emit := obs.Enabled()
+	if emit {
+		fmt.Println(n) // near miss: cold gate via bool local
+	}
+}
+
+//pramcc:zeroalloc
+func hotDeferOK(p *int) {
+	defer func() { *p = 0 }() // near miss: open-coded defer closure
+	*p = 1
+}
+
+//pramcc:zeroalloc
+func hotBadMake(n int) []int32 {
+	return make([]int32, n) // want "calls make"
+}
+
+//pramcc:zeroalloc
+func hotBadAppend(xs []int32) []int32 {
+	return append(xs, 1) // want "calls append"
+}
+
+//pramcc:zeroalloc
+func hotBadFmt(n int) {
+	fmt.Println(n) // want "calls fmt"
+}
+
+//pramcc:zeroalloc
+func hotBadClosure(n int) func() int {
+	return func() int { return n } // want "creates a closure"
+}
+
+//pramcc:zeroalloc
+func hotBadBox(n int) any {
+	return any(n) // want "boxes a value into interface"
+}
+
+//pramcc:zeroalloc
+func hotBadString(b []byte) string {
+	return string(b) // want "allocating string conversion"
+}
+
+//pramcc:zeroalloc
+func hotBadMap() int {
+	m := map[string]int{} // want "map literal"
+	return len(m)
+}
+
+//pramcc:zeroalloc
+func hotBadGo(f func()) {
+	go f() // want "starts a goroutine"
+}
+
+//pramcc:zeroalloc
+func hotBadCallee(n int) int {
+	return helper(n) // want "not marked //pramcc:zeroalloc"
+}
+
+// helper allocates nothing, but without the mark the analyzer cannot
+// trust it to stay that way.
+func helper(n int) int { return n + 1 }
+
+// coldFine is unmarked: allocation is not the analyzer's business here.
+func coldFine(n int) []int32 { return make([]int32, n) }

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Waldiscipline enforces the PR-7 durability barrier: on any function
+// that both publishes a snapshot and works with a durable.Store, the
+// WAL append (LogSpan/LogGrow/Checkpoint) must come before the
+// publication — otherwise a crash between the two leaves readers
+// having observed state the log cannot replay. Publication is the
+// Service's publish() helper or a Store call on a field named snap
+// (the atomic.Pointer snapshot slot); reordering the WAL append after
+// sv.publish in service.go trips this analyzer.
+//
+// Inside internal/durable itself one more ordering is checked: the
+// manifest swap (writeManifest) must be preceded by a data fsync
+// (Sync) in the same function, so the manifest never points at a
+// snapshot whose bytes may still be in the page cache.
+//
+// The ordering check is positional over the function body — a
+// conservative approximation of CFG dominance that is exact for the
+// straight-line persist paths it guards.
+var Waldiscipline = &Analyzer{
+	Name: "waldiscipline",
+	Doc:  "snapshot publication is preceded by the corresponding WAL append; manifest swaps are preceded by fsync",
+	Run:  runWaldiscipline,
+}
+
+func runWaldiscipline(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkWalOrder(pass, fn)
+			if pass.Pkg.Name == "durable" {
+				checkManifestOrder(pass, fn)
+			}
+		}
+	}
+}
+
+func checkWalOrder(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	var walPos []token.Pos
+	var pubs []*ast.CallExpr
+	usesStore := false
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isWalAppendCall(pass, n) {
+				walPos = append(walPos, n.Pos())
+			} else if isPublishCall(n) {
+				pubs = append(pubs, n)
+			}
+		case *ast.SelectorExpr:
+			if t := info.TypeOf(n); t != nil && isDurableStoreType(t) {
+				usesStore = true
+			}
+		case *ast.Ident:
+			if obj := info.ObjectOf(n); obj != nil && isDurableStoreType(obj.Type()) {
+				usesStore = true
+			}
+		}
+		return true
+	})
+
+	if !usesStore || len(pubs) == 0 {
+		return
+	}
+	for _, pub := range pubs {
+		preceded := false
+		for _, w := range walPos {
+			if w < pub.Pos() {
+				preceded = true
+				break
+			}
+		}
+		if !preceded {
+			pass.Reportf(pub.Pos(), "snapshot is published before (or without) the corresponding WAL append; a crash here would lose acknowledged state — log first, publish second")
+		}
+	}
+}
+
+// checkManifestOrder requires a Sync call before any writeManifest call
+// in the same durable-package function.
+func checkManifestOrder(pass *Pass, fn *ast.FuncDecl) {
+	var syncPos []token.Pos
+	var manifests []*ast.CallExpr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch calleeName(call) {
+		case "Sync":
+			syncPos = append(syncPos, call.Pos())
+		case "writeManifest":
+			manifests = append(manifests, call)
+		}
+		return true
+	})
+	for _, m := range manifests {
+		preceded := false
+		for _, s := range syncPos {
+			if s < m.Pos() {
+				preceded = true
+				break
+			}
+		}
+		if !preceded {
+			pass.Reportf(m.Pos(), "manifest is swapped before the snapshot data is fsynced; call Sync on the data file first")
+		}
+	}
+}
+
+// isWalAppendCall matches the durable.Store append surface:
+// LogSpan/LogGrow/Checkpoint methods on a type named Store in a
+// package named durable.
+func isWalAppendCall(pass *Pass, call *ast.CallExpr) bool {
+	switch calleeName(call) {
+	case "LogSpan", "LogGrow", "Checkpoint":
+	default:
+		return false
+	}
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "durable" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	n := namedType(sig.Recv().Type())
+	return n != nil && n.Obj().Name() == "Store"
+}
+
+// isPublishCall matches snapshot publication: the publish() helper, or
+// a Store on a field/variable named snap (the atomic snapshot slot).
+func isPublishCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name == "publish" {
+		return true
+	}
+	if sel.Sel.Name != "Store" {
+		return false
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		return x.Sel.Name == "snap"
+	case *ast.Ident:
+		return x.Name == "snap"
+	}
+	return false
+}
+
+// isDurableStoreType reports whether t is (a pointer to) the named
+// type Store of a package named durable.
+func isDurableStoreType(t types.Type) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Name() == "durable" && n.Obj().Name() == "Store"
+}
+
+// calleeName extracts the called method/function name from syntax.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Zeroalloc audits functions marked `//pramcc:zeroalloc` — the span-
+// ingest and query hot paths whose allocation-free contract is pinned
+// dynamically by testing.AllocsPerRun tests — for constructs that
+// allocate or may allocate:
+//
+//   - make/new/append and map or slice composite literals
+//   - heap-escaping composite literals (&T{...})
+//   - closures and go statements
+//   - string<->[]byte/[]rune conversions and boxing into interfaces
+//   - fmt calls, and calls to any function that is neither marked
+//     //pramcc:zeroalloc itself nor on a short allowlist of known
+//     non-allocating standard packages (sync/atomic, sync, context,
+//     time, math, math/bits)
+//
+// Two shapes are exempt because the compiler provably keeps them off
+// the heap here: a `defer func(){...}()` directly in the function body
+// (open-coded defer, not in a loop), and code under an observability
+// cold gate — `if obs.Enabled() { ... }` or a bool local bound to it —
+// which by contract only runs when a sink is attached and the
+// allocation-free guarantee is already waived.
+//
+// Calls through func-typed values (the engines' pre-bound worker
+// closures) are allowed: the allocation happened at bind time, outside
+// the marked region.
+var Zeroalloc = &Analyzer{
+	Name: "zeroalloc",
+	Doc:  "//pramcc:zeroalloc-marked functions contain no allocating constructs",
+	Run:  runZeroalloc,
+}
+
+// zeroallocStdAllow lists standard packages whose calls are accepted in
+// marked functions: their relevant entry points (atomic ops, mutexes,
+// monotonic clock reads, pure math) do not allocate.
+var zeroallocStdAllow = map[string]bool{
+	"sync/atomic": true,
+	"sync":        true,
+	"context":     true,
+	"time":        true,
+	"math":        true,
+	"math/bits":   true,
+}
+
+func runZeroalloc(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasZeroallocMark(fn) {
+				continue
+			}
+			checkZeroalloc(pass, fn)
+		}
+	}
+}
+
+func checkZeroalloc(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	// Bool locals bound to the obs cold gate: emit := obs.Enabled().
+	coldLocals := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isColdGateCall(info, call) {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil {
+				coldLocals[obj] = true
+			}
+		}
+		return true
+	})
+
+	// Subtrees excluded from the audit: then-branches of cold gates.
+	// FuncLits excluded from the closure rule: non-looped deferred ones.
+	skip := map[ast.Node]bool{}
+	exemptLit := map[*ast.FuncLit]bool{}
+	walkStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if isColdGateCond(info, coldLocals, n.Cond) {
+				skip[n.Body] = true
+			}
+		case *ast.DeferStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				inLoop := false
+				for _, a := range stack {
+					switch a.(type) {
+					case *ast.ForStmt, *ast.RangeStmt:
+						inLoop = true
+					}
+				}
+				if !inLoop {
+					exemptLit[lit] = true
+				}
+			}
+		}
+		return true
+	})
+
+	walkStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		if skip[n] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkZeroallocCall(pass, fn, n)
+		case *ast.CompositeLit:
+			t := info.TypeOf(n)
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "%s is marked //pramcc:zeroalloc but builds a map literal", fn.Name.Name)
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "%s is marked //pramcc:zeroalloc but builds a slice literal", fn.Name.Name)
+			default:
+				if len(stack) > 0 {
+					if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+						pass.Reportf(n.Pos(), "%s is marked //pramcc:zeroalloc but heap-allocates a composite literal with &", fn.Name.Name)
+					}
+				}
+			}
+		case *ast.FuncLit:
+			if !exemptLit[n] {
+				pass.Reportf(n.Pos(), "%s is marked //pramcc:zeroalloc but creates a closure", fn.Name.Name)
+			}
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "%s is marked //pramcc:zeroalloc but starts a goroutine", fn.Name.Name)
+		}
+		return true
+	})
+}
+
+func checkZeroallocCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions: T(x). Interface targets box; string<->byte/rune
+	// slice conversions copy.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		dst := tv.Type
+		var src types.Type
+		if len(call.Args) == 1 {
+			src = info.TypeOf(call.Args[0])
+		}
+		switch {
+		case types.IsInterface(dst.Underlying()) && src != nil && !types.IsInterface(src.Underlying()):
+			pass.Reportf(call.Pos(), "%s is marked //pramcc:zeroalloc but boxes a value into interface %s", fn.Name.Name, dst)
+		case isStringByteConversion(dst, src):
+			pass.Reportf(call.Pos(), "%s is marked //pramcc:zeroalloc but performs an allocating string conversion", fn.Name.Name)
+		}
+		return
+	}
+
+	// Builtins: make/new/append allocate, the rest (len, cap, copy,
+	// delete, panic, ...) do not.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s is marked //pramcc:zeroalloc but calls %s", fn.Name.Name, id.Name)
+			case "append":
+				pass.Reportf(call.Pos(), "%s is marked //pramcc:zeroalloc but calls append, which may grow its backing array; presize outside the marked region", fn.Name.Name)
+			}
+			return
+		}
+	}
+
+	callee := calleeFunc(info, call)
+	if callee == nil || callee.Pkg() == nil {
+		// A dynamic call through a func value: binding allocated
+		// earlier, invoking does not.
+		return
+	}
+	pkgPath := callee.Pkg().Path()
+	switch {
+	case pkgPath == "fmt":
+		pass.Reportf(call.Pos(), "%s is marked //pramcc:zeroalloc but calls fmt.%s, which allocates for formatting", fn.Name.Name, callee.Name())
+	case zeroallocStdAllow[pkgPath]:
+		// Known non-allocating standard package.
+	case isModulePath(pass, pkgPath):
+		if !pass.ZeroallocMarks[funcKey(callee)] {
+			pass.Reportf(call.Pos(), "%s is marked //pramcc:zeroalloc but calls %s, which is not marked //pramcc:zeroalloc", fn.Name.Name, callee.FullName())
+		}
+	default:
+		pass.Reportf(call.Pos(), "%s is marked //pramcc:zeroalloc but calls %s, which is not on the zeroalloc allowlist", fn.Name.Name, callee.FullName())
+	}
+}
+
+// isModulePath reports whether pkgPath belongs to the module under
+// analysis (same-module callees can carry the //pramcc:zeroalloc mark;
+// everything else cannot).
+func isModulePath(pass *Pass, pkgPath string) bool {
+	mod := pass.Pkg.ModulePath
+	if mod == "" {
+		// Fixture modules loaded without module metadata: treat any
+		// non-standard path (one with no dot before the first slash,
+		// like the fixture's own packages) as module-local.
+		return !strings.Contains(pkgPath, ".") || strings.HasPrefix(pkgPath, pass.Pkg.ImportPath)
+	}
+	return pkgPath == mod || strings.HasPrefix(pkgPath, mod+"/")
+}
+
+// isStringByteConversion reports whether dst(src) is one of the
+// copying conversions string <-> []byte / []rune.
+func isStringByteConversion(dst, src types.Type) bool {
+	if src == nil {
+		return false
+	}
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteOrRuneSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+			b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isStr(src))
+}
+
+// isColdGateCall reports whether call is the observability gate:
+// obs.Enabled() (any package named obs) or the service-level
+// obsEnabled().
+func isColdGateCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Name() == "obsEnabled" {
+		return true
+	}
+	return fn.Name() == "Enabled" && fn.Pkg() != nil && fn.Pkg().Name() == "obs"
+}
+
+// isColdGateCond reports whether an if-condition is gated on the obs
+// cold path: a direct obs.Enabled()/obsEnabled() call, a bool local
+// bound to one, or a && chain containing either.
+func isColdGateCond(info *types.Info, coldLocals map[types.Object]bool, cond ast.Expr) bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.CallExpr:
+		return isColdGateCall(info, c)
+	case *ast.Ident:
+		return coldLocals[info.ObjectOf(c)]
+	case *ast.BinaryExpr:
+		if c.Op.String() == "&&" {
+			return isColdGateCond(info, coldLocals, c.X) || isColdGateCond(info, coldLocals, c.Y)
+		}
+	}
+	return false
+}

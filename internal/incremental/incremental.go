@@ -207,6 +207,8 @@ func (e *Engine) Grow(n int) {
 func (e *Engine) Workers() int { return e.pool.Workers() }
 
 // N returns the vertex count.
+//
+//pramcc:zeroalloc
 func (e *Engine) N() int { return e.n }
 
 // Close releases the worker pool. The engine's snapshot remains
@@ -214,10 +216,14 @@ func (e *Engine) N() int { return e.n }
 func (e *Engine) Close() { e.pool.Close() }
 
 // Snapshot returns the labeling as of the last completed batch.
+//
+//pramcc:zeroalloc
 func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
 
 // SameComponent reports whether v and w are connected by the edges
 // ingested up to the last completed batch.
+//
+//pramcc:zeroalloc
 func (e *Engine) SameComponent(v, w int) bool {
 	s := e.snap.Load()
 	return s.Labels[v] == s.Labels[w]
@@ -225,6 +231,8 @@ func (e *Engine) SameComponent(v, w int) bool {
 
 // ComponentCount returns the number of components as of the last
 // completed batch.
+//
+//pramcc:zeroalloc
 func (e *Engine) ComponentCount() int { return e.snap.Load().Components }
 
 // Batches returns how many batches have been ingested.
@@ -336,6 +344,8 @@ func (e *Engine) validateSpan(span graph.EdgeSpan) error {
 // pre-bound spanWorker, so a steady-state batch performs zero
 // allocations between validation and publish. Writer-only, like
 // ingest.
+//
+//pramcc:zeroalloc
 func (e *Engine) ingestSpan(ctx context.Context, span graph.EdgeSpan) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -371,6 +381,8 @@ func (e *Engine) ingestSpan(ctx context.Context, span graph.EdgeSpan) error {
 // adds are atomic and allocation-free; the envelope (with its measures
 // map) is built only under an attached sink — this function runs
 // inside the region TestSpanIngestZeroAlloc holds at zero allocations.
+//
+//pramcc:zeroalloc
 func (e *Engine) noteIngest(edges int, d time.Duration) {
 	mBatches.Inc()
 	mEdges.Add(int64(edges))
@@ -384,6 +396,8 @@ func (e *Engine) noteIngest(edges int, d time.Duration) {
 
 // noteIngestErr emits the cancelled-batch event; the batch is not
 // counted (nothing was published).
+//
+//pramcc:zeroalloc
 func (e *Engine) noteIngestErr(err error) {
 	if obs.Enabled() {
 		status := obs.StatusError
@@ -397,6 +411,8 @@ func (e *Engine) noteIngestErr(err error) {
 
 // elapsedIf returns the elapsed time since start when timing was
 // enabled, 0 otherwise (start is the zero Time then).
+//
+//pramcc:zeroalloc
 func elapsedIf(enabled bool, start time.Time) time.Duration {
 	if !enabled {
 		return 0
@@ -407,6 +423,8 @@ func elapsedIf(enabled bool, start time.Time) time.Duration {
 // spanWork is the per-goroutine body of a span ingest: claim
 // grain-sized edge chunks off the shared cursor and union the even
 // arcs straight out of the columns.
+//
+//pramcc:zeroalloc
 func (e *Engine) spanWork(int) {
 	u, v := e.spanU, e.spanV
 	ctx, total := e.spanCtx, e.spanTotal
@@ -496,6 +514,8 @@ func (e *Engine) publish(edges int64) *Snapshot {
 // pubWork is the per-goroutine body of a publish flatten: claim
 // grain-sized vertex chunks, resolve each vertex's root into the
 // labels being published, and count the roots seen.
+//
+//pramcc:zeroalloc
 func (e *Engine) pubWork(int) {
 	labels := e.pubLabels
 	local := int64(0)
@@ -525,6 +545,8 @@ func (e *Engine) pubWork(int) {
 // CASed from its parent to its grandparent. A failed CAS means a racing
 // find already improved the pointer; either way progress is monotone
 // because parents strictly decrease along every path.
+//
+//pramcc:zeroalloc
 func (e *Engine) find(x int32) int32 {
 	for {
 		p := atomic.LoadInt32(&e.parent[x])
@@ -544,6 +566,8 @@ func (e *Engine) find(x int32) int32 {
 // under the smaller, which preserves parent[x] ≤ x and therefore
 // acyclicity on every interleaving. A lost race means another worker
 // linked one of the roots first; retry from the new roots.
+//
+//pramcc:zeroalloc
 func (e *Engine) union(u, v int32) {
 	for {
 		ru, rv := e.find(u), e.find(v)

@@ -125,6 +125,8 @@ func (e *Engine) Close() { e.pool.Close() }
 //
 // The returned labeling is exact on every interleaving: correctness
 // depends only on the monotone CAS-min discipline, not on scheduling.
+//
+//pramcc:zeroalloc
 func (e *Engine) Run(ctx context.Context, g *graph.Graph, labels []int32) (int, error) {
 	if len(labels) != g.N {
 		panic("native: label buffer length does not match g.N")
@@ -195,6 +197,8 @@ func b2f(b bool) float64 {
 
 // sweep shards [0, total) into grain-sized chunks claimed off the
 // shared cursor and reports whether any worker changed a label.
+//
+//pramcc:zeroalloc
 func (e *Engine) sweep(phase int32, total int) bool {
 	e.phase, e.total = phase, total
 	e.cursor.Store(0)
@@ -204,6 +208,8 @@ func (e *Engine) sweep(phase int32, total int) bool {
 }
 
 // worker is the per-goroutine body of a sweep.
+//
+//pramcc:zeroalloc
 func (e *Engine) worker(int) {
 	local := false
 	for {
@@ -230,6 +236,8 @@ func (e *Engine) worker(int) {
 // smaller of their two current labels. Arcs come in mirror pairs, so
 // scanning arc 2e covers edge e in both directions (the update is
 // symmetric in u and v).
+//
+//pramcc:zeroalloc
 func (e *Engine) link(lo, hi int) bool {
 	g, labels := e.g, e.labels
 	local := false
@@ -251,6 +259,8 @@ func (e *Engine) link(lo, hi int) bool {
 }
 
 // shortcut pointer-jumps every vertex in [lo, hi) to its root.
+//
+//pramcc:zeroalloc
 func (e *Engine) shortcut(lo, hi int) bool {
 	labels := e.labels
 	local := false
@@ -284,6 +294,8 @@ func Components(g *graph.Graph, opt Options) *Result {
 // contention. It reports whether it wrote. Labels only ever decrease,
 // so the invariant "labels[x] names a vertex of x's component" is
 // preserved by every interleaving of casMin calls.
+//
+//pramcc:zeroalloc
 func casMin(labels []int32, at, val int32) bool {
 	for {
 		cur := atomic.LoadInt32(&labels[at])

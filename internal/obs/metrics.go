@@ -22,12 +22,18 @@ type Counter struct {
 }
 
 // Inc adds 1.
+//
+//pramcc:zeroalloc
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n (n must be ≥ 0 for the counter to stay monotone).
+//
+//pramcc:zeroalloc
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value returns the current count.
+//
+//pramcc:zeroalloc
 func (c *Counter) Value() int64 { return c.v.Load() }
 
 // Gauge is a metric that can go up and down: a single atomic int64.
@@ -38,12 +44,18 @@ type Gauge struct {
 }
 
 // Set stores n.
+//
+//pramcc:zeroalloc
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
 // Add adds n (negative to decrease).
+//
+//pramcc:zeroalloc
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
 // Value returns the current value.
+//
+//pramcc:zeroalloc
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // gaugeFunc is a gauge whose value is computed at scrape time — the
@@ -79,6 +91,8 @@ type Histogram struct {
 }
 
 // Observe records v.
+//
+//pramcc:zeroalloc
 func (h *Histogram) Observe(v float64) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
@@ -96,6 +110,8 @@ func (h *Histogram) Observe(v float64) {
 }
 
 // ObserveDuration records d in seconds.
+//
+//pramcc:zeroalloc
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
 // Count returns the number of observations.

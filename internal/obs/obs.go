@@ -86,6 +86,8 @@ func SetSink(s Sink) {
 //	if obs.Enabled() {
 //		obs.Emit(obs.Event{...}) // built only when someone listens
 //	}
+//
+//pramcc:zeroalloc
 func Enabled() bool { return sink.Load() != nil }
 
 // Emit delivers e to the attached sink, if any.

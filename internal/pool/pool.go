@@ -57,6 +57,8 @@ func New(workers int) *Pool {
 func (p *Pool) Workers() int { return len(p.jobs) }
 
 // Run executes f once on every worker and waits for all of them.
+//
+//pramcc:zeroalloc
 func (p *Pool) Run(f func(worker int)) {
 	mRuns.Inc()
 	mBusy.Add(int64(len(p.jobs)))

@@ -228,9 +228,18 @@ func Run(m *pram.Machine, g *graph.Graph, p Params) Result {
 		// Release this phase's table space (the pool is reused).
 		m.Free(int(m.Stats().Space - spaceBefore))
 
-		// TREE-SHORTCUT: repeat shortcut until no parent changes.
+		// TREE-SHORTCUT: repeat shortcut until no parent changes. The
+		// pass count is bounded by the forest depth, but each pass is a
+		// full m.Step over n vertices, so cancellation must be able to
+		// land between passes like at any other round boundary.
 		shortcuts := 0
 		for {
+			if err := ctx.Err(); err != nil {
+				res.CtxErr = err
+				res.Labels, res.ForestEdges = nil, nil
+				res.Stats = m.Stats()
+				return res
+			}
 			shortcuts++
 			if st.D.Shortcut(m) == 0 {
 				break

@@ -116,6 +116,8 @@ func statusOf(err error) string {
 
 // obsEnabled reports whether an event sink is attached — the gate the
 // Service wraps envelope construction in.
+//
+//pramcc:zeroalloc
 func obsEnabled() bool { return obs.Enabled() }
 
 // emitService emits one serving-layer event when a sink is attached;

@@ -98,8 +98,11 @@ func countLabels(labels []int32) int {
 // and Service. src is an immutable published labeling, so a plain
 // copy after the caller's one atomic snapshot read is
 // snapshot-consistent.
+//
+//pramcc:zeroalloc
 func labelsInto(dst, src []int32) []int32 {
 	if cap(dst) < len(src) {
+		//pramcc:allow zeroalloc -- grow-or-reuse contract: allocates only when the caller's buffer is short
 		dst = make([]int32, len(src))
 	}
 	dst = dst[:len(src)]

@@ -40,22 +40,10 @@ if [ "$fail" -ne 0 ]; then
 fi
 echo "check_docs: all referenced .md files exist"
 
-# Metrics reference completeness: the metric-name list is generated
-# from the live registry (ccserve -list-metrics), never hand-copied,
-# so OPERATIONS.md cannot silently drift when a metric is added or
-# renamed. Every registered name must appear in OPERATIONS.md.
-metrics="$(go run ./cmd/ccserve -list-metrics)"
-if [ -z "$metrics" ]; then
-    echo "check_docs: ccserve -list-metrics produced no output" >&2
-    exit 1
-fi
-for m in $metrics; do
-    if ! grep -q -F "$m" OPERATIONS.md; then
-        echo "check_docs: registered metric $m is not documented in OPERATIONS.md" >&2
-        fail=1
-    fi
-done
-if [ "$fail" -ne 0 ]; then
-    exit 1
-fi
-echo "check_docs: all $(echo "$metrics" | wc -l | tr -d ' ') registered metrics documented in OPERATIONS.md"
+# Metrics reference completeness: delegated to the metricdoc analyzer
+# (internal/analysis), which finds every obs registry registration
+# statically and checks its name is a pramcc_-prefixed constant
+# documented in OPERATIONS.md — same check this script used to do with
+# `ccserve -list-metrics` + grep, now with source positions on failure.
+go run ./cmd/cclint -run metricdoc ./...
+echo "check_docs: all registered metrics documented in OPERATIONS.md (cclint -run metricdoc)"

@@ -301,11 +301,15 @@ func (sv *Service) Grow(n int) error {
 // Snapshot returns the currently published labeling: an immutable
 // Result that stays valid (and queryable) forever, even across later
 // Updates and Close. Callers must not modify it.
+//
+//pramcc:zeroalloc
 func (sv *Service) Snapshot() *Result { return sv.snap.Load() }
 
 // SameComponent reports whether v and w are in the same component of
 // the published snapshot. Out-of-range vertices are in no component
 // (false, except v == w). Safe to call concurrently with writers.
+//
+//pramcc:zeroalloc
 func (sv *Service) SameComponent(v, w int) bool {
 	if v == w {
 		return true
@@ -318,9 +322,13 @@ func (sv *Service) SameComponent(v, w int) bool {
 }
 
 // NumComponents returns the component count of the published snapshot.
+//
+//pramcc:zeroalloc
 func (sv *Service) NumComponents() int { return sv.snap.Load().NumComponents }
 
 // N returns the vertex count of the published snapshot.
+//
+//pramcc:zeroalloc
 func (sv *Service) N() int { return len(sv.snap.Load().Labels) }
 
 // Labels returns a copy of the published labeling.
@@ -337,6 +345,8 @@ func (sv *Service) Labels() []int32 {
 // never a half-published labeling) and, like every query, safe to
 // call concurrently with writers. A nil dst simply allocates, making
 // LabelsInto(nil) equivalent to Labels.
+//
+//pramcc:zeroalloc
 func (sv *Service) LabelsInto(dst []int32) []int32 {
 	return labelsInto(dst, sv.snap.Load().Labels)
 }
