@@ -1,0 +1,425 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	pramcc "repro"
+)
+
+// newRouterServer spins up the sharded-mode surface on an httptest
+// listener, as run does with -shards.
+func newRouterServer(t *testing.T, cfg pramcc.RouterConfig) (*httptest.Server, *pramcc.Router) {
+	t.Helper()
+	rt, err := pramcc.NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	ts := httptest.NewServer(newRouterHandler(rt))
+	t.Cleanup(ts.Close)
+	return ts, rt
+}
+
+func postJSON(t *testing.T, url, body string, into any) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func createTenant(t *testing.T, ts *httptest.Server, id string, n int) {
+	t.Helper()
+	resp := postJSON(t, ts.URL+"/v1/admin/tenants",
+		fmt.Sprintf(`{"tenant":%q,"n":%d}`, id, n), nil)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create %s: status %d", id, resp.StatusCode)
+	}
+}
+
+func TestTenantAdminAndRoundTrip(t *testing.T) {
+	ts, rt := newRouterServer(t, pramcc.RouterConfig{Shards: 4})
+
+	var created struct {
+		Tenant string `json:"tenant"`
+		Shard  int    `json:"shard"`
+		N      int    `json:"n"`
+	}
+	resp := postJSON(t, ts.URL+"/v1/admin/tenants", `{"tenant":"acme","n":6}`, &created)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d", resp.StatusCode)
+	}
+	if created.Tenant != "acme" || created.N != 6 || created.Shard != rt.ShardOf("acme") {
+		t.Fatalf("created = %+v", created)
+	}
+	createTenant(t, ts, "globex", 4)
+
+	// Error taxonomy on the admin endpoint.
+	if resp := postJSON(t, ts.URL+"/v1/admin/tenants", `{"tenant":"acme","n":6}`, nil); resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate create: status %d, want 409", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/v1/admin/tenants", `{"tenant":"../evil","n":1}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid id: status %d, want 400", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/v1/admin/tenants", `{"tenant":`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad body: status %d, want 400", resp.StatusCode)
+	}
+
+	// Ingest → same → stats on one tenant; the other stays empty.
+	var ing struct {
+		Components int `json:"components"`
+		Edges      int `json:"edges"`
+	}
+	resp = postJSON(t, ts.URL+"/v1/t/acme/ingest", `{"edges":[[0,1],[1,2]]}`, &ing)
+	if resp.StatusCode != http.StatusOK || ing.Components != 4 || ing.Edges != 2 {
+		t.Fatalf("ingest: status %d body %+v", resp.StatusCode, ing)
+	}
+	var same struct {
+		Same bool `json:"same"`
+	}
+	getJSON(t, ts.URL+"/v1/t/acme/same?u=0&v=2", &same)
+	if !same.Same {
+		t.Error("acme 0~2 should be connected")
+	}
+	getJSON(t, ts.URL+"/v1/t/globex/same?u=0&v=2", &same)
+	if same.Same {
+		t.Error("globex must not see acme's edges")
+	}
+	var stats struct {
+		Tenant        string `json:"tenant"`
+		N             int    `json:"n"`
+		Components    int    `json:"components"`
+		IngestedSpans int64  `json:"ingested_spans"`
+		IngestedEdges int64  `json:"ingested_edges"`
+		Queued        int    `json:"queued"`
+	}
+	getJSON(t, ts.URL+"/v1/t/acme/stats", &stats)
+	if stats.N != 6 || stats.Components != 4 || stats.IngestedSpans != 1 || stats.IngestedEdges != 2 || stats.Queued != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	// Grow through the endpoint.
+	var grown struct {
+		N int `json:"n"`
+	}
+	resp = postJSON(t, ts.URL+"/v1/t/acme/grow", `{"n":10}`, &grown)
+	if resp.StatusCode != http.StatusOK || grown.N != 10 {
+		t.Fatalf("grow: status %d n %d", resp.StatusCode, grown.N)
+	}
+
+	// Admin listing shows both tenants, sorted.
+	var list struct {
+		Shards  int `json:"shards"`
+		Tenants []struct {
+			Tenant string `json:"tenant"`
+			N      int    `json:"n"`
+		} `json:"tenants"`
+	}
+	getJSON(t, ts.URL+"/v1/admin/tenants", &list)
+	if list.Shards != 4 || len(list.Tenants) != 2 ||
+		list.Tenants[0].Tenant != "acme" || list.Tenants[1].Tenant != "globex" {
+		t.Errorf("admin list = %+v", list)
+	}
+
+	// Unknown tenant → 404 on every tenant route.
+	for _, probe := range []func() *http.Response{
+		func() *http.Response { return postJSON(t, ts.URL+"/v1/t/ghost/ingest", `{"edges":[]}`, nil) },
+		func() *http.Response { return postJSON(t, ts.URL+"/v1/t/ghost/grow", `{"n":1}`, nil) },
+		func() *http.Response { return getJSON(t, ts.URL+"/v1/t/ghost/same?u=0&v=1", nil) },
+		func() *http.Response { return getJSON(t, ts.URL+"/v1/t/ghost/stats", nil) },
+	} {
+		if resp := probe(); resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown tenant: status %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+// TestUnknownRoutesAnswerJSON404: satellite fix — every unclaimed
+// route, in both serving modes, answers a JSON 404 (and a wrong
+// method a JSON 405), never a plain-text or empty body.
+func TestUnknownRoutesAnswerJSON404(t *testing.T) {
+	single, _ := newTestServer(t, 2)
+	sharded, _ := newRouterServer(t, pramcc.RouterConfig{Shards: 2})
+	for _, ts := range []*httptest.Server{single, sharded} {
+		for _, path := range []string{"/v1/nope", "/v1/", "/nope", "/"} {
+			resp, err := http.Get(ts.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var body struct {
+				Error string `json:"error"`
+			}
+			if resp.StatusCode != http.StatusNotFound {
+				t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Errorf("GET %s: content type %q, want application/json", path, ct)
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Error == "" {
+				t.Errorf("GET %s: body not a JSON error (%v)", path, err)
+			}
+			resp.Body.Close()
+		}
+	}
+	// Wrong method on a known route: JSON 405.
+	resp, err := http.Get(sharded.URL + "/v1/t/any/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET ingest: status %d, want 405", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("GET ingest: content type %q", ct)
+	}
+}
+
+func TestTenantVertexQuota422(t *testing.T) {
+	ts, _ := newRouterServer(t, pramcc.RouterConfig{Shards: 2, MaxVertices: 100})
+	if resp := postJSON(t, ts.URL+"/v1/admin/tenants", `{"tenant":"big","n":101}`, nil); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("oversized create: status %d, want 422", resp.StatusCode)
+	}
+	createTenant(t, ts, "ok", 10)
+	if resp := postJSON(t, ts.URL+"/v1/t/ok/grow", `{"n":101}`, nil); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("oversized grow: status %d, want 422", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/v1/t/ok/grow", `{"n":100}`, nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("quota-sized grow: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestBackpressure429: with a one-span tenant backlog quota, a second
+// ingest arriving while a large first batch is still being applied is
+// rejected with 429. The race against the engine finishing first is
+// real, so the scenario retries with growing batches; the labeling
+// stays correct either way, and a well-timed attempt must observe the
+// documented 429 + JSON error shape.
+func TestBackpressure429(t *testing.T) {
+	ts, rt := newRouterServer(t, pramcc.RouterConfig{Shards: 1, TenantQueueCap: 1, CoalesceLimit: 1})
+	const n = 1 << 20
+	if _, err := rt.CreateTenant("acme", n); err != nil {
+		t.Fatal(err)
+	}
+
+	edges := 1 << 16
+	for attempt := 0; attempt < 6; attempt++ {
+		// One big chain batch, submitted asynchronously.
+		var sb strings.Builder
+		sb.WriteString(`{"edges":[`)
+		for i := 0; i < edges; i++ {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "[%d,%d]", i, i+1)
+		}
+		sb.WriteString("]}")
+		firstDone := make(chan int, 1)
+		go func() {
+			resp, err := http.Post(ts.URL+"/v1/t/acme/ingest", "application/json",
+				bytes.NewReader([]byte(sb.String())))
+			if err != nil {
+				firstDone <- 0
+				return
+			}
+			resp.Body.Close()
+			firstDone <- resp.StatusCode
+		}()
+
+		// Wait until the big batch is observably accepted (queued ≥ 1)
+		// before probing — a probe must never steal the backlog slot
+		// and bounce the big batch itself.
+		accepted := false
+		deadline := time.Now().Add(10 * time.Second)
+		for !accepted && firstDone != nil && time.Now().Before(deadline) {
+			select {
+			case code := <-firstDone:
+				if code != http.StatusOK {
+					t.Fatalf("big ingest: status %d", code)
+				}
+				firstDone = nil // finished before we saw it queued
+			default:
+				var st struct {
+					Queued int `json:"queued"`
+				}
+				getJSON(t, ts.URL+"/v1/t/acme/stats", &st)
+				accepted = st.Queued >= 1
+			}
+		}
+		// Probe small ingests while the big one is in flight; any 429
+		// proves the backpressure path end to end.
+		got429 := false
+		for !got429 && firstDone != nil {
+			select {
+			case code := <-firstDone:
+				if code != http.StatusOK {
+					t.Fatalf("big ingest: status %d", code)
+				}
+				firstDone = nil // big batch finished; can't 429 anymore
+			default:
+				var body struct {
+					Error string `json:"error"`
+				}
+				resp := postJSON(t, ts.URL+"/v1/t/acme/ingest", `{"edges":[[0,1]]}`, &body)
+				if resp.StatusCode == http.StatusTooManyRequests {
+					if body.Error == "" {
+						t.Error("429 without JSON error body")
+					}
+					got429 = true
+				} else if resp.StatusCode != http.StatusOK {
+					t.Fatalf("small ingest: status %d", resp.StatusCode)
+				}
+			}
+		}
+		if firstDone != nil {
+			if code := <-firstDone; code != http.StatusOK {
+				t.Fatalf("big ingest: status %d", code)
+			}
+		}
+		if got429 {
+			var same struct {
+				Same bool `json:"same"`
+			}
+			getJSON(t, ts.URL+fmt.Sprintf("/v1/t/acme/same?u=0&v=%d", edges), &same)
+			if !same.Same {
+				t.Error("chain broken after backpressure")
+			}
+			return
+		}
+		edges *= 2 // engine outran us; raise the in-flight time
+		if 2*edges >= n {
+			break
+		}
+	}
+	t.Skip("engine applied every batch before a concurrent ingest could arrive; backpressure path covered deterministically in internal/shard")
+}
+
+// TestConcurrentTenantsOverHTTP: eight tenants ingesting concurrently
+// through the HTTP surface; every tenant ends with its own correct
+// connectivity.
+func TestConcurrentTenantsOverHTTP(t *testing.T) {
+	ts, _ := newRouterServer(t, pramcc.RouterConfig{Shards: 4})
+	const tenants, chain = 8, 60
+	for i := 0; i < tenants; i++ {
+		createTenant(t, ts, fmt.Sprintf("t%d", i), chain+1)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			url := fmt.Sprintf("%s/v1/t/t%d/ingest", ts.URL, i)
+			for e := 0; e < chain; e++ {
+				for {
+					resp, err := http.Post(url, "application/json",
+						strings.NewReader(fmt.Sprintf(`{"edges":[[%d,%d]]}`, e, e+1)))
+					if err != nil {
+						t.Errorf("tenant %d: %v", i, err)
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusOK {
+						break
+					}
+					if resp.StatusCode != http.StatusTooManyRequests {
+						t.Errorf("tenant %d edge %d: status %d", i, e, resp.StatusCode)
+						return
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < tenants; i++ {
+		var same struct {
+			Same bool `json:"same"`
+		}
+		getJSON(t, ts.URL+fmt.Sprintf("/v1/t/t%d/same?u=0&v=%d", i, chain), &same)
+		if !same.Same {
+			t.Errorf("tenant %d chain broken", i)
+		}
+	}
+}
+
+// TestTenantsDurableAcrossRestart: the sharded, multi-tenant version
+// of the kill-and-restart smoke — both tenants recover their durable
+// sequence and connectivity from DataDir/t without any re-ingest.
+func TestTenantsDurableAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := pramcc.RouterConfig{Shards: 2, DataDir: dir}
+
+	rt1, err := pramcc.NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(newRouterHandler(rt1))
+	createTenant(t, ts1, "acme", 6)
+	createTenant(t, ts1, "globex", 4)
+	postJSON(t, ts1.URL+"/v1/t/acme/ingest", `{"edges":[[0,1],[1,2]]}`, nil)
+	postJSON(t, ts1.URL+"/v1/t/globex/ingest", `{"edges":[[2,3]]}`, nil)
+	// No graceful shutdown of the services: the WAL fsyncs per batch.
+	ts1.Close()
+	rt1.Close()
+
+	rt2, err := pramcc.NewRouter(cfg)
+	if err != nil {
+		t.Fatalf("warm restart: %v", err)
+	}
+	t.Cleanup(rt2.Close)
+	ts2 := httptest.NewServer(newRouterHandler(rt2))
+	t.Cleanup(ts2.Close)
+
+	for _, tc := range []struct {
+		tenant     string
+		n          int
+		u, v       int
+		durableSeq uint64
+	}{
+		{"acme", 6, 0, 2, 1},
+		{"globex", 4, 2, 3, 1},
+	} {
+		var stats struct {
+			N          int    `json:"n"`
+			DurableSeq uint64 `json:"durable_seq"`
+			Queued     int    `json:"queued"`
+		}
+		resp := getJSON(t, ts2.URL+"/v1/t/"+tc.tenant+"/stats", &stats)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tenant %s not recovered: status %d", tc.tenant, resp.StatusCode)
+		}
+		if stats.N != tc.n || stats.DurableSeq != tc.durableSeq {
+			t.Errorf("tenant %s stats after restart = %+v", tc.tenant, stats)
+		}
+		var same struct {
+			Same bool `json:"same"`
+		}
+		getJSON(t, ts2.URL+fmt.Sprintf("/v1/t/%s/same?u=%d&v=%d", tc.tenant, tc.u, tc.v), &same)
+		if !same.Same {
+			t.Errorf("tenant %s lost connectivity across restart", tc.tenant)
+		}
+	}
+}
+
+func TestShardsRejectsGraphPreload(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-shards", "2", "-graph", "whatever.txt"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-shards") {
+		t.Fatalf("run with -shards and -graph: %v", err)
+	}
+}

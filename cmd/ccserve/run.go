@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +43,11 @@ func run(args []string, out io.Writer) error {
 	graphPath := fs.String("graph", "", "preload a graph file (text edge list or binary) via Update before serving")
 	dataDir := fs.String("data", "", "durable data directory: snapshots + ingest WAL, warm-started on restart (incremental backend only)")
 	ckptEvery := fs.Int("checkpoint-every", 64, "with -data, checkpoint a snapshot every K logged batches")
+	shards := fs.Int("shards", 0, "run the sharded multi-tenant front end with this many shards (0 = single-service mode)")
+	queueCap := fs.Int("queue-cap", 0, "sharded mode: per-shard ingest queue capacity in spans (0 = default 256)")
+	tenantQueueCap := fs.Int("tenant-queue-cap", 0, "sharded mode: max spans one tenant may hold queued (0 = default 32)")
+	maxVertices := fs.Int("max-vertices", 0, "sharded mode: per-tenant vertex quota (0 = unlimited)")
+	coalesce := fs.Int("coalesce", 0, "sharded mode: max queued spans merged into one engine batch (1 disables, 0 = default 16)")
 	events := fs.String("events", "", "attach the JSON event sink: a file path, or \"stderr\"")
 	listMetrics := fs.Bool("list-metrics", false, "print the registered metric names, one per line, and exit")
 	if err := fs.Parse(args); err != nil {
@@ -67,6 +73,35 @@ func run(args []string, out io.Writer) error {
 		}
 		pramcc.SetEventSink(pramcc.NewJSONEventSink(w))
 		defer pramcc.SetEventSink(nil)
+	}
+
+	if *shards > 0 {
+		if *graphPath != "" {
+			return fmt.Errorf("ccserve: -graph preloads the single process-wide service and cannot combine with -shards (create a tenant and POST its edges instead)")
+		}
+		rt, err := pramcc.NewRouter(pramcc.RouterConfig{
+			Shards:         *shards,
+			QueueCap:       *queueCap,
+			TenantQueueCap: *tenantQueueCap,
+			MaxVertices:    *maxVertices,
+			CoalesceLimit:  *coalesce,
+			DataDir:        *dataDir,
+			Options: []pramcc.Option{
+				pramcc.WithBackend(backend), pramcc.WithWorkers(*workers),
+				pramcc.WithCheckpointEvery(*ckptEvery),
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer rt.Close()
+		if *dataDir != "" {
+			fmt.Fprintf(out, "recovered %d tenants from %s\n", len(rt.Tenants()), *dataDir)
+		}
+		fmt.Fprintf(out, "serving sharded backend=%v shards=%d tenants=%d on http://%s (endpoints: /healthz /metrics /debug/pprof/ /v1/admin/tenants /v1/t/{tenant}/...)\n",
+			backend, rt.Shards(), len(rt.Tenants()), *addr)
+		srv := &http.Server{Addr: *addr, Handler: newRouterHandler(rt)}
+		return srv.ListenAndServe()
 	}
 
 	var sv *pramcc.Service
@@ -117,10 +152,18 @@ func run(args []string, out io.Writer) error {
 	return srv.ListenAndServe()
 }
 
+// notFound is the catch-all for routes no handler claims: the JSON
+// error contract holds everywhere, so clients never parse a plain-text
+// or empty 404 body.
+func notFound(w http.ResponseWriter, r *http.Request) {
+	httpError(w, http.StatusNotFound, "not found")
+}
+
 // newHandler builds the full ops surface over sv: health, metrics,
 // pprof, and the JSON serving endpoints.
 func newHandler(sv *pramcc.Service) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/", counted(notFound))
 	mux.HandleFunc("/healthz", counted(func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status":     "ok",
@@ -218,6 +261,184 @@ func newHandler(sv *pramcc.Service) http.Handler {
 		writeJSON(w, http.StatusOK, stats)
 	}))
 	return mux
+}
+
+// newRouterHandler builds the sharded-mode surface over rt: health,
+// metrics, pprof, tenant admin, and the per-tenant JSON endpoints.
+func newRouterHandler(rt *pramcc.Router) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", counted(notFound))
+	mux.HandleFunc("/healthz", counted(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":  "ok",
+			"shards":  rt.Shards(),
+			"tenants": len(rt.Tenants()),
+		})
+	}))
+	mux.HandleFunc("/metrics", counted(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := pramcc.WriteMetrics(w); err != nil {
+			mHTTPErrors.Inc()
+		}
+	}))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/v1/admin/tenants", counted(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			var req struct {
+				Tenant string `json:"tenant"`
+				N      int    `json:"n"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				httpError(w, http.StatusBadRequest, "bad body: "+err.Error())
+				return
+			}
+			if !pramcc.ValidTenantID(req.Tenant) {
+				httpError(w, http.StatusBadRequest, "invalid tenant id (want 1-64 chars of [a-zA-Z0-9._-], starting alphanumeric)")
+				return
+			}
+			tn, err := rt.CreateTenant(req.Tenant, req.N)
+			if err != nil {
+				tenantError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusCreated, tenantStatsJSON(tn.Stats()))
+		case http.MethodGet:
+			ts := rt.Tenants()
+			list := make([]map[string]any, len(ts))
+			for i, tn := range ts {
+				list[i] = tenantStatsJSON(tn.Stats())
+			}
+			writeJSON(w, http.StatusOK, map[string]any{
+				"shards":  rt.Shards(),
+				"tenants": list,
+			})
+		default:
+			httpError(w, http.StatusMethodNotAllowed, "GET or POST only")
+		}
+	}))
+	mux.HandleFunc("/v1/t/{tenant}/ingest", counted(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		tn, err := rt.Tenant(r.PathValue("tenant"))
+		if err != nil {
+			tenantError(w, err)
+			return
+		}
+		var req struct {
+			Edges [][2]int `json:"edges"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad body: "+err.Error())
+			return
+		}
+		start := time.Now()
+		components, err := tn.Ingest(r.Context(), req.Edges)
+		if err != nil {
+			tenantError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"tenant":     tn.ID(),
+			"edges":      len(req.Edges),
+			"components": components,
+			"wall_ms":    float64(time.Since(start).Nanoseconds()) / 1e6,
+		})
+	}))
+	mux.HandleFunc("/v1/t/{tenant}/grow", counted(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		tn, err := rt.Tenant(r.PathValue("tenant"))
+		if err != nil {
+			tenantError(w, err)
+			return
+		}
+		var req struct {
+			N int `json:"n"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad body: "+err.Error())
+			return
+		}
+		if err := tn.Grow(req.N); err != nil {
+			tenantError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"tenant":     tn.ID(),
+			"n":          tn.N(),
+			"components": tn.NumComponents(),
+		})
+	}))
+	mux.HandleFunc("/v1/t/{tenant}/same", counted(func(w http.ResponseWriter, r *http.Request) {
+		tn, err := rt.Tenant(r.PathValue("tenant"))
+		if err != nil {
+			tenantError(w, err)
+			return
+		}
+		u, errU := strconv.Atoi(r.URL.Query().Get("u"))
+		v, errV := strconv.Atoi(r.URL.Query().Get("v"))
+		if errU != nil || errV != nil {
+			httpError(w, http.StatusBadRequest, "need integer query params u and v")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"tenant": tn.ID(), "u": u, "v": v, "same": tn.SameComponent(u, v),
+		})
+	}))
+	mux.HandleFunc("/v1/t/{tenant}/stats", counted(func(w http.ResponseWriter, r *http.Request) {
+		tn, err := rt.Tenant(r.PathValue("tenant"))
+		if err != nil {
+			tenantError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, tenantStatsJSON(tn.Stats()))
+	}))
+	return mux
+}
+
+// tenantStatsJSON renders one tenant's stats for admin listings and
+// the stats endpoint.
+func tenantStatsJSON(st pramcc.TenantStats) map[string]any {
+	m := map[string]any{
+		"tenant":         st.ID,
+		"shard":          st.Shard,
+		"n":              st.N,
+		"components":     st.NumComponents,
+		"queued":         st.Queued,
+		"ingested_spans": st.IngestedSpans,
+		"ingested_edges": st.IngestedEdges,
+	}
+	if st.Durable {
+		m["durable_seq"] = st.DurableSeq
+	}
+	return m
+}
+
+// tenantError maps the router's error taxonomy onto HTTP statuses:
+// pressure is retryable (429), quota violations are not (422), and
+// identity problems are 404/409.
+func tenantError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, pramcc.ErrUnknownTenant):
+		httpError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, pramcc.ErrOverloaded), errors.Is(err, pramcc.ErrTenantBacklog):
+		httpError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, pramcc.ErrVertexQuota):
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+	case errors.Is(err, pramcc.ErrTenantExists):
+		httpError(w, http.StatusConflict, err.Error())
+	default:
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+	}
 }
 
 // counted wraps a handler with the request counter.

@@ -141,6 +141,37 @@
 // atomically replaced MANIFEST) and the recovery procedure are
 // documented in OPERATIONS.md.
 //
+// # Sharded service
+//
+// One process serving many independent graphs — one per customer,
+// region, or build — holds a Router instead of a bag of Services:
+// NewRouter hashes tenant ids onto a fixed set of shards, each shard
+// serializes its tenants' writes through one bounded queue and a
+// dedicated worker goroutine, and every query still reads its
+// tenant's lock-free snapshot directly. The queue bounds are the
+// backpressure contract: a full shard queue fails fast with
+// ErrOverloaded and a tenant exceeding its queued-span allowance with
+// ErrTenantBacklog (both retryable); RouterConfig.MaxVertices is a
+// hard per-tenant quota (ErrVertexQuota, not retryable). Because
+// spans are columnar, the shard worker coalesces consecutive queued
+// spans of the same tenant into one wide engine batch (two column
+// appends), paying the engine's per-batch fixed costs once per merged
+// run — experiment E16 measures the resulting throughput win under
+// queued load; coalescing never changes the partition. With
+// RouterConfig.DataDir set, each tenant persists under DIR/t/<id> and
+// NewRouter recovers every existing tenant on construction — a warm
+// restart needs no re-ingest:
+//
+//	r, err := pramcc.NewRouter(pramcc.RouterConfig{Shards: 4, DataDir: dir})
+//	tn, err := r.CreateTenant("acme", 1_000_000)
+//	tn.Ingest(ctx, edges)            // queued, coalesced, applied
+//	tn.SameComponent(v, w)           // lock-free snapshot read
+//
+// The cmd/ccserve -shards mode serves a Router over HTTP (per-tenant
+// endpoints under /v1/t/{tenant}/, admin under /v1/admin/tenants);
+// the "Sharded multi-tenant serving" section of OPERATIONS.md is the
+// operator contract.
+//
 // # Static analysis
 //
 // The invariants above — snapshots touched only through their atomic

@@ -22,10 +22,12 @@ var Metricdoc = &Analyzer{
 }
 
 var metricRegistrars = map[string]bool{
-	"Counter":   true,
-	"Gauge":     true,
-	"GaugeFunc": true,
-	"Histogram": true,
+	"Counter":    true,
+	"Gauge":      true,
+	"GaugeFunc":  true,
+	"Histogram":  true,
+	"CounterVec": true,
+	"GaugeVec":   true,
 }
 
 func runMetricdoc(pass *Pass) {

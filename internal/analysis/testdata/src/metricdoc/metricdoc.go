@@ -16,6 +16,14 @@ var (
 
 func dyn() string { return "pramcc_dyn_total" }
 
+// Labeled families go through the same name rules: the family name is
+// the constant the runbook documents, whatever label values show up at
+// runtime.
+var (
+	goodVec = obs.Default.CounterVec(goodName, "family under a documented name", "tenant")
+	missVec = obs.Default.GaugeVec("pramcc_missing_family", "undocumented family", "shard") // want "not documented in OPERATIONS.md"
+)
+
 func init() {
 	obs.Default.Histogram("pramcc_documented_total", "re-registered under a documented name", nil)
 	obs.Default.GaugeFunc("pramcc_missing_total", "computed", func() float64 { return 0 }) // want "not documented in OPERATIONS.md"

@@ -30,6 +30,12 @@ func (r *Registry) GaugeFunc(name, help string, f func() float64) {}
 // Histogram registers a histogram.
 func (r *Registry) Histogram(name, help string, bounds []float64) *Counter { return &Counter{} }
 
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help, label string) *Counter { return &Counter{} }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help, label string) *Counter { return &Counter{} }
+
 // Counter is the stub metric handle.
 type Counter struct{}
 

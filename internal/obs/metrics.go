@@ -129,6 +129,8 @@ type metric struct {
 	g    *Gauge
 	gf   *gaugeFunc
 	h    *Histogram
+	cv   *CounterVec
+	gv   *GaugeVec
 }
 
 // Registry is a named collection of metrics. Registration (Counter,
@@ -225,6 +227,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(bw, "%s %d\n", m.name, m.g.Value())
 		case m.gf != nil:
 			fmt.Fprintf(bw, "%s %s\n", m.name, formatFloat(m.gf.f()))
+		case m.cv != nil:
+			for _, s := range m.cv.samples() {
+				fmt.Fprintf(bw, "%s{%s=\"%s\"} %d\n", m.name, m.cv.label, escapeLabel(s.value), s.n)
+			}
+		case m.gv != nil:
+			for _, s := range m.gv.samples() {
+				fmt.Fprintf(bw, "%s{%s=\"%s\"} %d\n", m.name, m.gv.label, escapeLabel(s.value), s.n)
+			}
 		case m.h != nil:
 			cum := int64(0)
 			for i, b := range m.h.bounds {

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// CounterVec is a family of counters sharing one name and help string,
+// distinguished by the value of a single label — the shape of the
+// sharded service's per-tenant and per-shard metrics, where the set of
+// label values (tenant ids, shard indices) is only known at runtime
+// but the family name is a compile-time constant the runbook can
+// document. With lazily creates (and then reuses) the child for a
+// label value; callers on hot paths cache the returned handle so the
+// per-update cost is the child's own atomic add, not a map lookup.
+type CounterVec struct {
+	name, help, label string
+	mu                sync.Mutex
+	children          map[string]*Counter
+}
+
+// With returns the counter for the given label value, creating it on
+// first use. Safe for concurrent use; the returned handle is the same
+// for every call with the same value.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[value]
+	if !ok {
+		c = &Counter{name: v.name, help: v.help}
+		v.children[value] = c
+	}
+	return c
+}
+
+// GaugeVec is the gauge form of CounterVec: one family name, one label
+// key, lazily created children per label value.
+type GaugeVec struct {
+	name, help, label string
+	mu                sync.Mutex
+	children          map[string]*Gauge
+}
+
+// With returns the gauge for the given label value, creating it on
+// first use. Safe for concurrent use.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.children[value]
+	if !ok {
+		g = &Gauge{name: v.name, help: v.help}
+		v.children[value] = g
+	}
+	return g
+}
+
+// CounterVec registers and returns a counter family with one label
+// key. The family name follows the same rules as plain metrics
+// (constant, documented); label values are runtime data and are
+// escaped on rendering.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{name: name, help: help, label: label,
+		children: map[string]*Counter{}}
+	r.register(metric{name: name, typ: "counter", help: help, cv: v})
+	return v
+}
+
+// GaugeVec registers and returns a gauge family with one label key.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	v := &GaugeVec{name: name, help: help, label: label,
+		children: map[string]*Gauge{}}
+	r.register(metric{name: name, typ: "gauge", help: help, gv: v})
+	return v
+}
+
+// vecSample is one rendered child: label value plus current reading.
+type vecSample struct {
+	value string
+	n     int64
+}
+
+// samples snapshots a vec's children sorted by label value, so scrapes
+// are deterministic regardless of creation order.
+func (v *CounterVec) samples() []vecSample {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]vecSample, 0, len(v.children))
+	for val, c := range v.children {
+		out = append(out, vecSample{val, c.Value()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].value < out[j].value })
+	return out
+}
+
+func (v *GaugeVec) samples() []vecSample {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]vecSample, 0, len(v.children))
+	for val, g := range v.children {
+		out = append(out, vecSample{val, g.Value()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].value < out[j].value })
+	return out
+}
+
+// escapeLabel escapes a label value per the Prometheus text format:
+// backslash, double quote, and newline.
+var escapeLabel = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace

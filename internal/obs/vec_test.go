@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVecChildrenAndRendering(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("pramcc_test_family_total", "a labeled counter family", "tenant")
+	gv := r.GaugeVec("pramcc_test_depth", "a labeled gauge family", "shard")
+
+	if cv.With("acme") != cv.With("acme") {
+		t.Fatal("With must return the same child for the same label value")
+	}
+	cv.With("acme").Add(3)
+	cv.With("zebra").Inc()
+	cv.With(`we"ird\na"me`).Inc()
+	gv.With("0").Set(7)
+	gv.With("1").Set(2)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE pramcc_test_family_total counter",
+		`pramcc_test_family_total{tenant="acme"} 3`,
+		`pramcc_test_family_total{tenant="zebra"} 1`,
+		`pramcc_test_family_total{tenant="we\"ird\\na\"me"} 1`,
+		"# TYPE pramcc_test_depth gauge",
+		`pramcc_test_depth{shard="0"} 7`,
+		`pramcc_test_depth{shard="1"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered output missing %q\n%s", want, text)
+		}
+	}
+	// Children render sorted by label value regardless of creation order.
+	if strings.Index(text, `tenant="acme"`) > strings.Index(text, `tenant="zebra"`) {
+		t.Error("vec children not sorted by label value")
+	}
+	// The family name is registered once: Names lists it, duplicates panic.
+	found := false
+	for _, n := range r.Names() {
+		if n == "pramcc_test_family_total" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("family name missing from Names()")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate family registration did not panic")
+			}
+		}()
+		r.CounterVec("pramcc_test_family_total", "dup", "tenant")
+	}()
+}
+
+func TestVecConcurrentWith(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("pramcc_test_conc_total", "concurrency check", "tenant")
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 1000; j++ {
+				cv.With("t").Inc()
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if got := cv.With("t").Value(); got != 8000 {
+		t.Fatalf("concurrent increments lost: %d != 8000", got)
+	}
+}

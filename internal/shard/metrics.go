@@ -1,0 +1,36 @@
+package shard
+
+import "repro/internal/obs"
+
+// Router metrics, process-wide like every pramcc metric family: the
+// vec children are keyed by shard index or tenant id, so two Routers
+// in one process (a test scenario — ccserve runs one) share children.
+// All names are documented in OPERATIONS.md (cclint -run metricdoc).
+var (
+	mQueueDepth = obs.Default.GaugeVec("pramcc_shard_queue_depth",
+		"ingest jobs currently queued on each shard (occupancy = depth / pramcc_shard_queue_cap)",
+		"shard")
+	mQueueCap = obs.Default.Gauge("pramcc_shard_queue_cap",
+		"per-shard ingest queue capacity (jobs); pushes beyond it are rejected with 429/ErrOverloaded")
+	mShardBatches = obs.Default.CounterVec("pramcc_shard_ingest_batches_total",
+		"engine batches executed by each shard worker (after coalescing)",
+		"shard")
+	mTenantSpans = obs.Default.CounterVec("pramcc_tenant_ingest_spans_total",
+		"spans accepted and applied per tenant",
+		"tenant")
+	mTenantEdges = obs.Default.CounterVec("pramcc_tenant_ingest_edges_total",
+		"edges accepted and applied per tenant",
+		"tenant")
+	mTenants = obs.Default.Gauge("pramcc_router_tenants",
+		"tenants currently hosted by the router")
+	mOverloadRejects = obs.Default.Counter("pramcc_router_overload_rejects_total",
+		"ingests rejected because a shard queue was full (HTTP 429)")
+	mBacklogRejects = obs.Default.Counter("pramcc_router_backlog_rejects_total",
+		"ingests rejected because the tenant's queued-span quota was exhausted (HTTP 429)")
+	mQuotaRejects = obs.Default.Counter("pramcc_router_quota_rejects_total",
+		"creates/grows rejected by the per-tenant vertex quota (HTTP 422)")
+	mCoalesceBatches = obs.Default.Counter("pramcc_coalesce_batches_total",
+		"engine batches that merged more than one queued span")
+	mCoalesceSpans = obs.Default.Counter("pramcc_coalesce_merged_spans_total",
+		"queued spans absorbed into a coalesced batch instead of ingested alone")
+)

@@ -1,0 +1,98 @@
+package shard
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// queue is one shard's bounded FIFO of ingest jobs: a mutex-guarded
+// ring with a condition variable for the single consumer (the shard
+// worker). Pushes never block — a full queue rejects with
+// ErrOverloaded, which is the backpressure contract: the caller (and
+// ultimately the HTTP client, as a 429) decides whether to retry, and
+// router memory stays bounded at cap jobs per shard.
+//
+// The consumer pops runs: the head job plus up to limit-1 jobs
+// immediately behind it belonging to the same tenant. Only adjacent
+// jobs coalesce, so cross-tenant FIFO order — and therefore per-tenant
+// ingest order — is preserved exactly.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	jobs   []*job // FIFO window: live entries are jobs[head:]
+	head   int
+	cap    int
+	closed bool
+
+	depth *obs.Gauge // this shard's queue-depth metric child
+}
+
+func newQueue(cap int, depth *obs.Gauge) *queue {
+	q := &queue{cap: cap, depth: depth}
+	q.cond = sync.NewCond(&q.mu)
+	q.depth.Set(0)
+	return q
+}
+
+// len reports the live entry count. Callers hold mu.
+func (q *queue) len() int { return len(q.jobs) - q.head }
+
+// push appends j, failing on a full or closed queue.
+func (q *queue) push(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if q.len() >= q.cap {
+		return ErrOverloaded
+	}
+	q.jobs = append(q.jobs, j)
+	q.depth.Set(int64(q.len()))
+	q.cond.Signal()
+	return nil
+}
+
+// popRun blocks until a job is available (or the queue is closed and
+// drained, returning nil), then pops the head job plus up to limit-1
+// consecutive same-tenant followers — the coalescing window.
+func (q *queue) popRun(limit int) []*job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.len() == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.len() == 0 {
+		return nil
+	}
+	run := []*job{q.pop()}
+	for len(run) < limit && q.len() > 0 && q.jobs[q.head].tenant == run[0].tenant {
+		run = append(run, q.pop())
+	}
+	q.depth.Set(int64(q.len()))
+	return run
+}
+
+// pop removes and returns the head entry, compacting the backing
+// slice once the dead prefix dominates. Callers hold mu.
+func (q *queue) pop() *job {
+	j := q.jobs[q.head]
+	q.jobs[q.head] = nil // release the span for GC
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.jobs) {
+		n := copy(q.jobs, q.jobs[q.head:])
+		q.jobs = q.jobs[:n]
+		q.head = 0
+	}
+	return j
+}
+
+// close marks the queue closed and wakes the consumer so it can drain
+// the remaining entries and exit.
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}

@@ -1,0 +1,120 @@
+package pramcc_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	pramcc "repro"
+	"repro/graph"
+)
+
+// routerBenchIngest drives spans through a router from conc concurrent
+// clients per tenant, retrying on backpressure, and returns when every
+// span has been applied.
+func routerBenchIngest(b *testing.B, r *pramcc.Router, tenants []*pramcc.Tenant, work [][]graph.EdgeSpan, conc int) {
+	b.Helper()
+	var wg sync.WaitGroup
+	for i, tn := range tenants {
+		ch := make(chan graph.EdgeSpan, len(work[i]))
+		for _, s := range work[i] {
+			ch <- s
+		}
+		close(ch)
+		for c := 0; c < conc; c++ {
+			wg.Add(1)
+			go func(tn *pramcc.Tenant) {
+				defer wg.Done()
+				for s := range ch {
+					for {
+						_, err := tn.IngestSpan(context.Background(), s)
+						if err == nil {
+							break
+						}
+						if !errors.Is(err, pramcc.ErrOverloaded) && !errors.Is(err, pramcc.ErrTenantBacklog) {
+							b.Error(err)
+							return
+						}
+						time.Sleep(50 * time.Microsecond)
+					}
+				}
+			}(tn)
+		}
+	}
+	wg.Wait()
+}
+
+// BenchmarkRouterIngest: the sharded multi-tenant hot path — eight
+// tenants on four shards, four concurrent clients each, default
+// coalescing. The reported edges/s is aggregate across tenants.
+func BenchmarkRouterIngest(b *testing.B) {
+	const tenants, shards, n, spans, conc = 8, 4, 50_000, 64, 4
+	work := make([][]graph.EdgeSpan, tenants)
+	edges := 0
+	for i := range work {
+		g := graph.Gnm(n, 8*n, int64(i+1))
+		work[i] = g.SpanBatches(spans)
+		edges += g.NumEdges()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Two engine workers per tenant: a multi-tenant host shares
+		// cores across tenants instead of letting one engine's spinning
+		// pool occupy every core.
+		r, err := pramcc.NewRouter(pramcc.RouterConfig{Shards: shards,
+			Options: []pramcc.Option{pramcc.WithWorkers(2)}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		handles := make([]*pramcc.Tenant, tenants)
+		for j := range handles {
+			if handles[j], err = r.CreateTenant(fmt.Sprintf("bench-%d", j), n); err != nil {
+				b.Fatal(err)
+			}
+		}
+		routerBenchIngest(b, r, handles, work, conc)
+		r.Close()
+	}
+	b.ReportMetric(float64(edges)*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
+// BenchmarkCoalesce: the same queued single-shard workload with span
+// coalescing disabled (limit 1) and enabled (limit 16). Eight clients
+// keep the shard queue non-empty, so the on case pays the engine's
+// per-batch fixed costs once per merged run instead of once per span —
+// the off/on delta is the coalescing win E16 quantifies at full scale.
+func BenchmarkCoalesce(b *testing.B) {
+	const n, spans, conc = 1_000_000, 192, 16
+	g := graph.Gnm(n, spans*64, 1)
+	work := [][]graph.EdgeSpan{g.SpanBatches(spans)}
+	for _, cfg := range []struct {
+		name  string
+		limit int
+	}{{"off", 1}, {"on", 16}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := pramcc.NewRouter(pramcc.RouterConfig{
+					Shards: 1, CoalesceLimit: cfg.limit,
+					QueueCap: 2 * spans, TenantQueueCap: 2 * spans,
+					Options: []pramcc.Option{pramcc.WithWorkers(2)},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tn, err := r.CreateTenant("bench", n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				routerBenchIngest(b, r, []*pramcc.Tenant{tn}, work, conc)
+				r.Close()
+			}
+			b.ReportMetric(float64(g.NumEdges())*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+		})
+	}
+}

@@ -1,0 +1,264 @@
+package pramcc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/graph"
+	"repro/internal/check"
+)
+
+// ingestWithRetry pushes one span through the tenant, retrying on
+// backpressure (ErrOverloaded / ErrTenantBacklog) — the contract a
+// well-behaved client follows when the router sheds load.
+func ingestWithRetry(t *testing.T, tn *Tenant, span graph.EdgeSpan) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, err := tn.IngestSpan(context.Background(), span)
+		if err == nil {
+			return
+		}
+		if !errors.Is(err, ErrOverloaded) && !errors.Is(err, ErrTenantBacklog) {
+			t.Errorf("ingest: %v", err)
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Error("backpressure never cleared")
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRouterOracleEquivalence: a tenant ingesting a graph through the
+// router — random span splits, queued and coalesced behind a shard
+// worker — must label exactly like the BFS oracle and like a single
+// Service fed the same graph. Coalescing may only merge work, never
+// change the partition.
+func TestRouterOracleEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			n := 50 + rng.Intn(300)
+			g := graph.Gnm(n, 2+rng.Intn(4*n), seed)
+			batches := g.SpanBatches(1 + rng.Intn(12))
+
+			r, err := NewRouter(RouterConfig{Shards: 3, CoalesceLimit: 8, TenantQueueCap: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			tn, err := r.CreateTenant("oracle-eq", n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Fire the batches concurrently so several queue up behind
+			// the shard worker and coalesce; unions commute, so the
+			// final partition is order-independent.
+			var wg sync.WaitGroup
+			for _, b := range batches {
+				wg.Add(1)
+				go func(b graph.EdgeSpan) {
+					defer wg.Done()
+					ingestWithRetry(t, tn, b)
+				}(b)
+			}
+			wg.Wait()
+
+			labels := tn.LabelsInto(nil)
+			if err := check.SamePartition(labels, g.ComponentsBFS()); err != nil {
+				t.Fatalf("router labeling != BFS oracle: %v", err)
+			}
+
+			single, err := NewService(n, WithBackend(BackendIncremental))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer single.Close()
+			res, err := single.IngestSpan(nil, g.Span())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := check.SamePartition(labels, res.Labels); err != nil {
+				t.Fatalf("router labeling != single Service: %v", err)
+			}
+			if tn.NumComponents() != res.NumComponents {
+				t.Fatalf("router components = %d, single Service = %d", tn.NumComponents(), res.NumComponents)
+			}
+			st := tn.Stats()
+			if st.IngestedSpans != int64(len(batches)) {
+				t.Errorf("IngestedSpans = %d, want %d", st.IngestedSpans, len(batches))
+			}
+			if st.IngestedEdges != int64(g.NumEdges()) {
+				t.Errorf("IngestedEdges = %d, want %d", st.IngestedEdges, g.NumEdges())
+			}
+		})
+	}
+}
+
+// TestRouterConcurrentTenants: eight tenants ingesting concurrently
+// across four shards each end with their own graph's exact partition
+// — shard sharing never leaks edges across tenants.
+func TestRouterConcurrentTenants(t *testing.T) {
+	r, err := NewRouter(RouterConfig{Shards: 4, QueueCap: 32, TenantQueueCap: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	const tenants = 8
+	graphs := make([]*graph.Graph, tenants)
+	handles := make([]*Tenant, tenants)
+	for i := range graphs {
+		n := 80 + 20*i
+		graphs[i] = graph.Gnm(n, 3*n, int64(100+i))
+		tn, err := r.CreateTenant(fmt.Sprintf("tenant-%d", i), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = tn
+	}
+	var wg sync.WaitGroup
+	for i := range handles {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for _, b := range graphs[i].SpanBatches(16) {
+				ingestWithRetry(t, handles[i], b)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, tn := range handles {
+		if err := check.SamePartition(tn.LabelsInto(nil), graphs[i].ComponentsBFS()); err != nil {
+			t.Errorf("tenant %d labeling wrong: %v", i, err)
+		}
+		if got := tn.Stats().Queued; got != 0 {
+			t.Errorf("tenant %d still has %d queued", i, got)
+		}
+	}
+}
+
+// TestRouterQuotasAndErrors covers the public error taxonomy.
+func TestRouterQuotasAndErrors(t *testing.T) {
+	r, err := NewRouter(RouterConfig{Shards: 2, MaxVertices: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.CreateTenant("big", 1001); !errors.Is(err, ErrVertexQuota) {
+		t.Errorf("oversized create: %v, want ErrVertexQuota", err)
+	}
+	if _, err := r.CreateTenant("bad id!", 10); err == nil {
+		t.Error("invalid tenant id accepted")
+	}
+	tn, err := r.CreateTenant("acme", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.CreateTenant("acme", 10); !errors.Is(err, ErrTenantExists) {
+		t.Errorf("duplicate create: %v, want ErrTenantExists", err)
+	}
+	if _, err := r.Tenant("ghost"); !errors.Is(err, ErrUnknownTenant) {
+		t.Errorf("unknown lookup: %v, want ErrUnknownTenant", err)
+	}
+	if err := tn.Grow(2000); !errors.Is(err, ErrVertexQuota) {
+		t.Errorf("oversized grow: %v, want ErrVertexQuota", err)
+	}
+	if err := tn.Grow(500); err != nil {
+		t.Fatalf("grow: %v", err)
+	}
+	if tn.N() != 500 {
+		t.Errorf("N = %d, want 500", tn.N())
+	}
+	// Ingest range-checks pairs before narrowing to int32.
+	if _, err := tn.Ingest(context.Background(), [][2]int{{0, 1 << 40}}); err == nil {
+		t.Error("out-of-range pair accepted")
+	}
+	if _, err := tn.Ingest(context.Background(), [][2]int{{0, 1}, {1, 2}}); err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if !tn.SameComponent(0, 2) {
+		t.Error("pair ingest lost edges")
+	}
+	r.Close()
+	if _, err := r.CreateTenant("late", 1); !errors.Is(err, ErrRouterClosed) {
+		t.Errorf("create after close: %v, want ErrRouterClosed", err)
+	}
+}
+
+// TestRouterWarmRestart: a durable router recovers every tenant from
+// DataDir/t on construction — same shard, same labeling, same durable
+// sequence, and immediately writable.
+func TestRouterWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := RouterConfig{Shards: 2, DataDir: dir, Options: []Option{WithCheckpointEvery(3)}}
+
+	r1, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type snap struct {
+		labels []int32
+		stats  TenantStats
+	}
+	want := map[string]snap{}
+	for i, id := range []string{"acme", "beta", "gamma"} {
+		n := 60 + 30*i
+		g := graph.Gnm(n, 2*n, int64(7+i))
+		tn, err := r1.CreateTenant(id, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range g.SpanBatches(5) {
+			ingestWithRetry(t, tn, b)
+		}
+		st := tn.Stats()
+		if !st.Durable || st.DurableSeq == 0 {
+			t.Fatalf("tenant %s not durable: %+v", id, st)
+		}
+		want[id] = snap{labels: tn.LabelsInto(nil), stats: st}
+	}
+	r1.Close()
+
+	r2, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if got := len(r2.Tenants()); got != len(want) {
+		t.Fatalf("recovered %d tenants, want %d", got, len(want))
+	}
+	for id, w := range want {
+		tn, err := r2.Tenant(id)
+		if err != nil {
+			t.Fatalf("tenant %s not recovered: %v", id, err)
+		}
+		if tn.Shard() != r2.ShardOf(id) {
+			t.Errorf("tenant %s shard moved", id)
+		}
+		if tn.N() != w.stats.N {
+			t.Errorf("tenant %s N = %d, want %d", id, tn.N(), w.stats.N)
+		}
+		if err := check.SamePartition(tn.LabelsInto(nil), w.labels); err != nil {
+			t.Errorf("tenant %s labeling lost: %v", id, err)
+		}
+		st := tn.Stats()
+		if !st.Durable || st.DurableSeq < w.stats.DurableSeq {
+			t.Errorf("tenant %s durable seq regressed: %+v vs %+v", id, st, w.stats)
+		}
+		if st.NumComponents != w.stats.NumComponents {
+			t.Errorf("tenant %s components = %d, want %d", id, st.NumComponents, w.stats.NumComponents)
+		}
+		// Recovered tenants accept writes immediately.
+		if _, err := tn.IngestSpan(context.Background(), graph.FromPairs([][2]int{{0, 1}})); err != nil {
+			t.Errorf("tenant %s ingest after recovery: %v", id, err)
+		}
+	}
+}

@@ -17,14 +17,17 @@
 # worst case, whose delta against BenchmarkIngestSpan is the whole
 # cost of observability), and of the durability layer (BenchmarkWALAppend,
 # the fsync-dominated per-batch ack; BenchmarkRecover, the warm-start
-# scan) since the last deliberate refresh. Comparison uses benchstat when installed
+# scan), and of the sharded multi-tenant router (BenchmarkRouterIngest,
+# the eight-tenant hot path; BenchmarkCoalesce, span coalescing off vs
+# on under queued load — the E16 claim) since the last deliberate
+# refresh. Comparison uses benchstat when installed
 # (go install golang.org/x/perf/cmd/benchstat@latest) and falls back to
 # printing both result sets side by side when not.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
-BENCH="${BENCH:-BenchmarkComponentsBackends|BenchmarkSolverReuse|BenchmarkNative|BenchmarkIncremental|BenchmarkIngest|BenchmarkEngineIngest|BenchmarkLoad|BenchmarkWriteBinary|BenchmarkWALAppend|BenchmarkRecover}"
+BENCH="${BENCH:-BenchmarkComponentsBackends|BenchmarkSolverReuse|BenchmarkNative|BenchmarkIncremental|BenchmarkIngest|BenchmarkEngineIngest|BenchmarkLoad|BenchmarkWriteBinary|BenchmarkWALAppend|BenchmarkRecover|BenchmarkRouterIngest|BenchmarkCoalesce}"
 BASELINE=internal/bench/testdata/baseline.txt
 CURRENT="$(mktemp /tmp/bench_current.XXXXXX.txt)"
 trap 'rm -f "$CURRENT"' EXIT
