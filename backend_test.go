@@ -1,13 +1,17 @@
 package pramcc
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 
 	"repro/graph"
 	"repro/internal/baseline"
 	"repro/internal/check"
+	"repro/internal/incremental"
+	"repro/internal/native"
 )
 
 // generatorZoo covers every generator family the graph package offers,
@@ -226,27 +230,120 @@ func TestBackendTextMarshal(t *testing.T) {
 	}
 }
 
-// FuzzBackendEquivalence: arbitrary multigraphs, worker counts, and
-// batch splits — native, one-shot incremental, batched incremental,
-// and union-find must always agree.
+// TestBackendEquivalenceGrainSweep: the partition must not depend on
+// the scheduler claim grain. Degenerate (1), prime (7), legacy (4096),
+// and adaptive (0) grains on both engines, against the sequential
+// union-find oracle; Stats must echo the grain that ran.
+func TestBackendEquivalenceGrainSweep(t *testing.T) {
+	names := []string{"path", "binary-tree", "gnm", "clique-beads", "isolated"}
+	zoo := generatorZoo()
+	for _, name := range names {
+		g := zoo[name]
+		oracle := baseline.Components(g)
+		for _, grain := range []int{1, 7, 4096, 0} {
+			t.Run(fmt.Sprintf("%s/grain=%d", name, grain), func(t *testing.T) {
+				for _, bk := range []Backend{BackendNative, BackendIncremental} {
+					res, err := Components(g, WithBackend(bk), WithGrain(grain))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Stats.Grain != grain {
+						t.Fatalf("%v Stats.Grain = %d, want %d", bk, res.Stats.Grain, grain)
+					}
+					if err := check.SamePartition(res.Labels, oracle); err != nil {
+						t.Fatalf("%v grain=%d vs union-find: %v", bk, grain, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEngineOptionMatrixEquivalence sweeps the scheduler knobs the
+// public API deliberately does not expose — affinity stealing and the
+// native fused-sweep arc packing — through the internal engine options,
+// crossed with degenerate and adaptive grains. Every cell must induce
+// the oracle partition; under -race this doubles as the scheduler
+// stress test.
+func TestEngineOptionMatrixEquivalence(t *testing.T) {
+	zoo := generatorZoo()
+	for _, name := range []string{"gnm", "clique-beads", "binary-tree"} {
+		g := zoo[name]
+		oracle := baseline.Components(g)
+		for _, grain := range []int{1, 0} {
+			for _, noAff := range []bool{false, true} {
+				for _, noPack := range []bool{false, true} {
+					opt := native.Options{Grain: grain, NoAffinity: noAff, NoPack: noPack}
+					t.Run(fmt.Sprintf("native/%s/grain=%d,noaff=%v,nopack=%v", name, grain, noAff, noPack),
+						func(t *testing.T) {
+							res := native.Components(g, opt)
+							if err := check.SamePartition(res.Labels, oracle); err != nil {
+								t.Fatal(err)
+							}
+						})
+				}
+				opt := incremental.Options{Grain: grain, NoAffinity: noAff}
+				t.Run(fmt.Sprintf("incremental/%s/grain=%d,noaff=%v", name, grain, noAff),
+					func(t *testing.T) {
+						eng := incremental.New(g.N, opt)
+						defer eng.Close()
+						for _, span := range g.SpanBatches(3) {
+							if _, err := eng.AddSpan(span); err != nil {
+								t.Fatal(err)
+							}
+						}
+						if err := check.SamePartition(eng.Snapshot().Labels, oracle); err != nil {
+							t.Fatal(err)
+						}
+					})
+			}
+		}
+	}
+}
+
+// TestNativeConvergesUnderConcurrentSweeps exercises the native engine
+// repeatedly on the same long-lived instance with a tiny grain, so the
+// sharded scheduler issues many concurrent chunk claims per sweep;
+// meant to run under -race.
+func TestNativeConvergesUnderConcurrentSweeps(t *testing.T) {
+	g := graph.CliqueBeads(graph.CliqueBeadsSpec{Beads: 24, Size: 10, IntraDeg: 6, Bridges: 2, Seed: 21})
+	oracle := baseline.Components(g)
+	eng := native.NewEngineOpt(native.Options{Workers: 4, Grain: 1})
+	defer eng.Close()
+	labels := make([]int32, g.N)
+	for i := 0; i < 8; i++ {
+		if _, err := eng.Run(context.Background(), g, labels); err != nil {
+			t.Fatal(err)
+		}
+		if err := check.SamePartition(labels, oracle); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+}
+
+// FuzzBackendEquivalence: arbitrary multigraphs, worker counts, grain
+// choices, and batch splits — native, one-shot incremental, batched
+// incremental, and union-find must always agree.
 func FuzzBackendEquivalence(f *testing.F) {
-	f.Add(uint16(10), uint16(20), int64(1), uint8(0), uint8(1))
-	f.Add(uint16(100), uint16(50), int64(2), uint8(1), uint8(3))
-	f.Add(uint16(1), uint16(0), int64(3), uint8(4), uint8(0))
-	f.Add(uint16(300), uint16(2000), int64(4), uint8(16), uint8(13))
-	f.Fuzz(func(t *testing.T, nRaw, mRaw uint16, gseed int64, workersRaw, batchesRaw uint8) {
+	f.Add(uint16(10), uint16(20), int64(1), uint8(0), uint8(1), uint8(0))
+	f.Add(uint16(100), uint16(50), int64(2), uint8(1), uint8(3), uint8(1))
+	f.Add(uint16(1), uint16(0), int64(3), uint8(4), uint8(0), uint8(2))
+	f.Add(uint16(300), uint16(2000), int64(4), uint8(16), uint8(13), uint8(3))
+	f.Fuzz(func(t *testing.T, nRaw, mRaw uint16, gseed int64, workersRaw, batchesRaw, grainRaw uint8) {
 		n := int(nRaw%400) + 1
 		m := int(mRaw % 1500)
+		// 0 = adaptive sizing; 1 = degenerate; 7 = ragged; 4096 = legacy.
+		grain := []int{0, 1, 7, 4096}[grainRaw%4]
 		g := graph.Gnm(n, m, gseed)
 		oracle := baseline.Components(g)
-		res, err := Components(g, WithBackend(BackendNative), WithWorkers(int(workersRaw%17)))
+		res, err := Components(g, WithBackend(BackendNative), WithWorkers(int(workersRaw%17)), WithGrain(grain))
 		if err != nil {
 			t.Fatal(err)
 		}
 		if err := check.SamePartition(res.Labels, oracle); err != nil {
 			t.Fatal(err)
 		}
-		one, err := Components(g, WithBackend(BackendIncremental), WithWorkers(int(workersRaw%17)))
+		one, err := Components(g, WithBackend(BackendIncremental), WithWorkers(int(workersRaw%17)), WithGrain(grain))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -256,7 +353,7 @@ func FuzzBackendEquivalence(f *testing.F) {
 			}
 		}
 		// Batched replay: the partition must not depend on the split.
-		inc, err := NewIncremental(g.N, WithWorkers(int(workersRaw%17)))
+		inc, err := NewIncremental(g.N, WithWorkers(int(workersRaw%17)), WithGrain(grain))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,104 @@
+package pramcc_test
+
+// The multi-config CI bench gate (scripts/bench_gate.sh + cmd/benchgate)
+// runs exactly these benchmarks: {workers=1, workers=NumCPU} ×
+// {small, full-scale} on the two real engines, against the checked-in
+// baselines under internal/bench/testdata/. One engine run per
+// iteration, so the script's -benchtime=1x -count N yields N clean
+// samples per configuration for the rank-sum test.
+//
+// The worker axis is named w1/wmax rather than the numeric CPU count
+// so baseline files stay comparable across hosts; on a single-core
+// host wmax would equal w1 and is elided (benchgate treats a missing
+// name as a note, not a failure). The full scale is gated behind
+// -short so `go test ./...` stays fast.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	pramcc "repro"
+	"repro/graph"
+)
+
+// gateScales: small solves in milliseconds, full is the EXPERIMENTS.md
+// full-scale workload (the E17 graph).
+var gateScales = []struct {
+	name string
+	n, m int
+}{
+	{"small", 50_000, 200_000},
+	{"full", 1_000_000, 10_000_000},
+}
+
+// gateWorkerAxis returns the deduplicated {1, NumCPU} worker counts
+// with their stable axis labels.
+func gateWorkerAxis() []struct {
+	label string
+	n     int
+} {
+	axis := []struct {
+		label string
+		n     int
+	}{{"w1", 1}}
+	if ncpu := runtime.NumCPU(); ncpu > 1 {
+		axis = append(axis, struct {
+			label string
+			n     int
+		}{"wmax", ncpu})
+	}
+	return axis
+}
+
+func BenchmarkGate(b *testing.B) {
+	ctx := context.Background()
+	for _, sc := range gateScales {
+		if sc.name == "full" && testing.Short() {
+			continue
+		}
+		g := graph.Gnm(sc.n, sc.m, 1)
+		for _, w := range gateWorkerAxis() {
+			b.Run(fmt.Sprintf("%s/native/%s", sc.name, w.label), func(b *testing.B) {
+				s, err := pramcc.NewSolver(pramcc.WithBackend(pramcc.BackendNative), pramcc.WithWorkers(w.n))
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer s.Close()
+				if _, err := s.Solve(ctx, g); err != nil { // warm the buffers
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := s.Solve(ctx, g)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.NumComponents == 0 {
+						b.Fatal("no components")
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("%s/incremental-replay/%s", sc.name, w.label), func(b *testing.B) {
+				spans := g.SpanBatches(20)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					inc, err := pramcc.NewIncremental(g.N, pramcc.WithWorkers(w.n))
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, span := range spans {
+						if _, err := inc.AddSpan(span); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if inc.ComponentCount() == 0 {
+						b.Fatal("no components")
+					}
+					inc.Close()
+				}
+			})
+		}
+	}
+}

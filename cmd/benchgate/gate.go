@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchSet holds ns/op samples per benchmark name, preserving the
+// order names first appeared so the report reads like the input.
+type benchSet struct {
+	order   []string
+	samples map[string][]float64
+}
+
+// parseBenchFile extracts ns/op samples from `go test -bench` output.
+// A result line looks like
+//
+//	BenchmarkNativeSolve/small/w1-4   100   123456 ns/op   0 B/op ...
+//
+// the first field being the name (with the -GOMAXPROCS suffix, which
+// is kept: a run at a different GOMAXPROCS is a different
+// configuration and must not be pooled with the baseline's). Non-result
+// lines (pkg headers, PASS, ok) are skipped.
+func parseBenchFile(path string) (*benchSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	set := &benchSet{samples: map[string][]float64{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// fields: name, iterations, value, "ns/op", [more unit pairs].
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad ns/op %q on line %q", path, fields[i], sc.Text())
+			}
+			name := fields[0]
+			if _, seen := set.samples[name]; !seen {
+				set.order = append(set.order, name)
+			}
+			set.samples[name] = append(set.samples[name], v)
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// median returns the middle of xs (mean of the middle two when even).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+// run compares baseline and current and writes the report to w,
+// returning the process exit code: 0 when the gate passes, 1 when any
+// benchmark regressed significantly beyond threshold.
+func run(w io.Writer, basePath, curPath string, threshold, alpha float64) (int, error) {
+	base, err := parseBenchFile(basePath)
+	if err != nil {
+		return 0, err
+	}
+	cur, err := parseBenchFile(curPath)
+	if err != nil {
+		return 0, err
+	}
+
+	var regressions []string
+	compared := 0
+	fmt.Fprintf(w, "%-58s %14s %14s %9s %8s  %s\n", "benchmark", "old median", "new median", "delta", "p", "verdict")
+	for _, name := range base.order {
+		b := base.samples[name]
+		c, ok := cur.samples[name]
+		if !ok {
+			fmt.Fprintf(w, "%-58s missing from current run (renamed or skipped?)\n", name)
+			continue
+		}
+		compared++
+		mb, mc := median(b), median(c)
+		delta := 0.0
+		if mb != 0 {
+			delta = (mc - mb) / mb
+		}
+		p := rankSumP(b, c)
+		verdict := "~"
+		switch {
+		case p >= alpha:
+			verdict = "~ (not significant)"
+		case delta > threshold:
+			verdict = "REGRESSION"
+			regressions = append(regressions, fmt.Sprintf("%s: %+.1f%% (p=%.3f)", name, delta*100, p))
+		case delta < 0:
+			verdict = "improvement"
+		default:
+			verdict = "slower, within threshold"
+		}
+		fmt.Fprintf(w, "%-58s %14s %14s %+8.1f%% %8.3f  %s\n",
+			name, formatNs(mb), formatNs(mc), delta*100, p, verdict)
+	}
+	for _, name := range cur.order {
+		if _, ok := base.samples[name]; !ok {
+			fmt.Fprintf(w, "%-58s new benchmark, no baseline yet\n", name)
+		}
+	}
+	if compared == 0 {
+		return 0, fmt.Errorf("no benchmark appears in both %s and %s — the gate would be vacuous", basePath, curPath)
+	}
+
+	if len(regressions) > 0 {
+		fmt.Fprintf(w, "\nGATE FAILED: %d significant regression(s) beyond %+.0f%%:\n", len(regressions), threshold*100)
+		for _, r := range regressions {
+			fmt.Fprintf(w, "  %s\n", r)
+		}
+		return 1, nil
+	}
+	fmt.Fprintf(w, "\ngate passed: %d benchmark(s) compared, none regressed beyond %+.0f%% at alpha %.2f\n",
+		compared, threshold*100, alpha)
+	return 0, nil
+}
+
+// formatNs renders a nanosecond quantity with a human unit, benchstat
+// style.
+func formatNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3gs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.4gms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.4gµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.4gns", ns)
+	}
+}

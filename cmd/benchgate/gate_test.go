@@ -1,0 +1,161 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, name string, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	content := "goos: linux\ngoarch: amd64\npkg: repro\n" + strings.Join(lines, "\n") + "\nPASS\nok  \trepro\t1.0s\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func benchLines(name string, ns ...float64) []string {
+	out := make([]string, len(ns))
+	for i, v := range ns {
+		out[i] = fmt.Sprintf("%s-4 \t       1\t  %.0f ns/op\t       0 B/op\t       0 allocs/op", name, v)
+	}
+	return out
+}
+
+func TestParseBenchFile(t *testing.T) {
+	path := writeBench(t, "b.txt", append(
+		benchLines("BenchmarkGate/small/native/w1", 100, 110, 105),
+		"BenchmarkOther-4 \t 200 \t 55.5 ns/op",
+		"not a benchmark line",
+	)...)
+	set, err := parseBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.order) != 2 {
+		t.Fatalf("parsed %d names, want 2: %v", len(set.order), set.order)
+	}
+	got := set.samples["BenchmarkGate/small/native/w1-4"]
+	if len(got) != 3 || got[0] != 100 || got[2] != 105 {
+		t.Fatalf("samples = %v", got)
+	}
+	if o := set.samples["BenchmarkOther-4"]; len(o) != 1 || o[0] != 55.5 {
+		t.Fatalf("BenchmarkOther samples = %v", o)
+	}
+}
+
+// TestRankSumP pins the exact test on hand-checkable inputs.
+func TestRankSumP(t *testing.T) {
+	// Complete separation of two 5-sample sets: the most extreme
+	// rank-sum two-sided, p = 2 / C(10,5) = 2/252.
+	lo := []float64{1, 2, 3, 4, 5}
+	hi := []float64{10, 11, 12, 13, 14}
+	want := 2.0 / 252.0
+	if p := rankSumP(lo, hi); math.Abs(p-want) > 1e-12 {
+		t.Fatalf("separated samples: p = %g, want %g", p, want)
+	}
+	// Symmetric: order of the two samples must not matter.
+	if p1, p2 := rankSumP(lo, hi), rankSumP(hi, lo); p1 != p2 {
+		t.Fatalf("asymmetric p: %g vs %g", p1, p2)
+	}
+	// Identical distributions: no evidence.
+	if p := rankSumP([]float64{5, 5, 5}, []float64{5, 5, 5}); p != 1 {
+		t.Fatalf("identical samples: p = %g, want 1", p)
+	}
+	// Interleaved samples: far from significant.
+	if p := rankSumP([]float64{1, 3, 5, 7, 9}, []float64{2, 4, 6, 8, 10}); p < 0.5 {
+		t.Fatalf("interleaved samples: p = %g, want ≥ 0.5", p)
+	}
+	// Degenerate sides.
+	if p := rankSumP(nil, []float64{1}); p != 1 {
+		t.Fatalf("empty side: p = %g, want 1", p)
+	}
+	// Ties across the groups still yield a sane p in [0, 1].
+	if p := rankSumP([]float64{1, 1, 2, 2}, []float64{1, 2, 3, 3}); p < 0 || p > 1 {
+		t.Fatalf("tied samples: p = %g out of range", p)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	base := writeBench(t, "base.txt", benchLines("BenchmarkGate/full/native/w1", 100000, 101000, 99000, 100500, 99500)...)
+	cur := writeBench(t, "cur.txt", benchLines("BenchmarkGate/full/native/w1", 150000, 151000, 149000, 150500, 149500)...)
+	var sb strings.Builder
+	code, err := run(&sb, base, cur, 0.15, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; output:\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") || !strings.Contains(sb.String(), "GATE FAILED") {
+		t.Fatalf("report missing regression verdict:\n%s", sb.String())
+	}
+}
+
+func TestGatePassesOnImprovementAndNoise(t *testing.T) {
+	base := writeBench(t, "base.txt", append(
+		benchLines("BenchmarkA", 100000, 101000, 99000, 100500, 99500),
+		benchLines("BenchmarkB", 200000, 201000, 199000, 200500, 199500)...)...)
+	cur := writeBench(t, "cur.txt", append(
+		// A: significantly faster. B: wobble well inside noise.
+		benchLines("BenchmarkA", 50000, 51000, 49000, 50500, 49500),
+		benchLines("BenchmarkB", 200400, 200900, 199400, 200100, 199800)...)...)
+	var sb strings.Builder
+	code, err := run(&sb, base, cur, 0.15, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; output:\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "improvement") {
+		t.Fatalf("report missing improvement verdict:\n%s", sb.String())
+	}
+}
+
+// TestGateSmallSlowdownWithinThresholdPasses: statistically detectable
+// but below the threshold — the gate tolerates it and says so.
+func TestGateSmallSlowdownWithinThresholdPasses(t *testing.T) {
+	base := writeBench(t, "base.txt", benchLines("BenchmarkA", 100000, 100100, 99900, 100050, 99950)...)
+	cur := writeBench(t, "cur.txt", benchLines("BenchmarkA", 105000, 105100, 104900, 105050, 104950)...)
+	var sb strings.Builder
+	code, err := run(&sb, base, cur, 0.15, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 || !strings.Contains(sb.String(), "within threshold") {
+		t.Fatalf("code = %d, output:\n%s", code, sb.String())
+	}
+}
+
+func TestGateDisjointNamesIsError(t *testing.T) {
+	base := writeBench(t, "base.txt", benchLines("BenchmarkOld", 100, 100, 100)...)
+	cur := writeBench(t, "cur.txt", benchLines("BenchmarkNew", 100, 100, 100)...)
+	var sb strings.Builder
+	if _, err := run(&sb, base, cur, 0.15, 0.05); err == nil {
+		t.Fatalf("disjoint benchmark sets must error, got:\n%s", sb.String())
+	}
+}
+
+func TestGateReportsRenames(t *testing.T) {
+	base := writeBench(t, "base.txt", append(
+		benchLines("BenchmarkKept", 100, 100, 100),
+		benchLines("BenchmarkGone", 100, 100, 100)...)...)
+	cur := writeBench(t, "cur.txt", append(
+		benchLines("BenchmarkKept", 100, 100, 100),
+		benchLines("BenchmarkFresh", 100, 100, 100)...)...)
+	var sb strings.Builder
+	code, err := run(&sb, base, cur, 0.15, 0.05)
+	if err != nil || code != 0 {
+		t.Fatalf("code = %d, err = %v", code, err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "missing from current") || !strings.Contains(out, "no baseline yet") {
+		t.Fatalf("rename notes missing:\n%s", out)
+	}
+}

@@ -1,0 +1,59 @@
+// Command benchgate compares two `go test -bench` result files the way
+// benchstat does — grouping samples by benchmark name, testing the
+// ns/op distributions with an exact Mann–Whitney rank-sum permutation
+// test, and reporting median deltas — and then, unlike benchstat,
+// renders a verdict: it exits non-zero when any benchmark shows a
+// statistically significant slowdown beyond the gate threshold. It is
+// the CI tooth behind scripts/bench_gate.sh, pure stdlib so the gate
+// needs no network and no installed binaries.
+//
+// Usage:
+//
+//	benchgate [-threshold 0.15] [-alpha 0.05] baseline.txt current.txt
+//
+// A benchmark is a REGRESSION when p < alpha AND the median ns/op grew
+// by more than threshold (a fraction: 0.15 = +15%). Significant
+// speedups and insignificant wobbles both pass; they are still printed
+// so the gate's log doubles as a benchstat-style trend table.
+// Benchmarks present in only one file are listed as notes and never
+// gate — renames should not break CI — but a baseline file with no
+// overlapping benchmark at all is an error, because then the gate
+// would be vacuously green.
+//
+// The threshold can also be set with BENCHGATE_THRESHOLD (the flag
+// wins), so CI can loosen the gate on noisy shared runners without a
+// workflow edit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+func main() {
+	thresholdFlag := flag.Float64("threshold", defaultThreshold(), "max allowed median slowdown as a fraction (0.15 = +15%); env BENCHGATE_THRESHOLD sets the default")
+	alpha := flag.Float64("alpha", 0.05, "significance level for the rank-sum test")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-threshold F] [-alpha F] baseline.txt current.txt")
+		os.Exit(2)
+	}
+	code, err := run(os.Stdout, flag.Arg(0), flag.Arg(1), *thresholdFlag, *alpha)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// defaultThreshold reads BENCHGATE_THRESHOLD, falling back to 0.15.
+func defaultThreshold() float64 {
+	if s := os.Getenv("BENCHGATE_THRESHOLD"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0.15
+}

@@ -70,16 +70,26 @@ func ParseEdgeListSpan(data []byte, workers int) (int, EdgeSpan, error) {
 		w = 1
 	}
 
+	// More byte chunks than workers, scheduled at grain 1 on the
+	// locality-aware scheduler: each worker starts on the chunks of
+	// its sticky home range and steals the rest, so a chunk whose
+	// lines are unusually dense (or hit the slow parse path) cannot
+	// strand a fixed w-th of the input behind one worker.
+	nc := w
+	if w > 1 {
+		nc = w * 4
+	}
+
 	type chunk struct {
 		u, v []int32
 		err  *parseOffsetError
 	}
-	chunks := make([]chunk, w)
-	cuts := chunkBounds(data, body, w)
+	chunks := make([]chunk, nc)
+	cuts := chunkBounds(data, body, nc)
 	// The header's edge count sizes each chunk's output (plus slack
 	// for imbalance); parseEdgeChunk clamps it against the chunk's
 	// actual byte size so a lying header cannot drive the allocation.
-	estArcs := 2 * (want/w + want/(8*w) + 16)
+	estArcs := 2 * (want/nc + want/(8*nc) + 16)
 	parseOne := func(i int) {
 		u, v, perr := parseEdgeChunk(data, cuts[i], cuts[i+1], n, estArcs)
 		chunks[i] = chunk{u, v, perr}
@@ -88,7 +98,12 @@ func ParseEdgeListSpan(data []byte, workers int) (int, EdgeSpan, error) {
 		parseOne(0)
 	} else {
 		p := pool.New(w)
-		p.Run(func(worker int) { parseOne(worker) })
+		p.Sharded(nc, 1, func(_, lo, hi int) bool {
+			for i := lo; i < hi; i++ {
+				parseOne(i)
+			}
+			return true
+		})
 		p.Close()
 	}
 

@@ -30,7 +30,10 @@ func TestSuiteCleanOnTree(t *testing.T) {
 // (fixtures excluded) at the time the suite landed. The allowlist may
 // shrink; growing it needs a reviewed bump here, with the same scrutiny
 // as the suppression itself.
-const allowBudget = 1
+// Current suppressions, all grow-or-reuse buffer growth on zeroalloc
+// paths: pramcc.labelsInto, pool.Shard.Init's cursor slice, and the
+// native engine's packed-arc buffer.
+const allowBudget = 3
 
 func TestAllowlistDoesNotGrow(t *testing.T) {
 	count := 0

@@ -94,3 +94,38 @@ func helper(n int) int { return n + 1 }
 
 // coldFine is unmarked: allocation is not the analyzer's business here.
 func coldFine(n int) []int32 { return make([]int32, n) }
+
+// sched mimics the pool scheduler's shape: a pre-bound func-typed job
+// field invoked from the marked claim loop. Binding allocated at
+// construction time, outside any marked region; the indirect call in
+// the hot loop must not be flagged.
+type sched struct {
+	job func(worker, lo, hi int) bool
+}
+
+// hotChunkLoop is the Shard.claimRange pattern: calling through the
+// func-typed field is a dynamic call, allowed in marked code.
+//
+//pramcc:zeroalloc
+func (s *sched) hotChunkLoop(lo, hi int) bool {
+	for lo < hi {
+		if !s.job(0, lo, lo+1) { // near miss: pre-bound func value, not flagged
+			return false
+		}
+		lo++
+	}
+	return true
+}
+
+// hotBadRebind is the mistake the pattern exists to prevent: binding
+// the closure inside the marked sweep instead of at construction.
+//
+//pramcc:zeroalloc
+func (s *sched) hotBadRebind(total int) {
+	n := 0
+	s.job = func(_, lo, hi int) bool { // want "creates a closure"
+		n += hi - lo
+		return true
+	}
+	_ = total
+}

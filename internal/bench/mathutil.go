@@ -1,5 +1,22 @@
 package bench
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 func powMath(b, e float64) float64 { return math.Pow(b, e) }
+
+// median returns the middle value of xs (mean of the middle two for
+// even lengths), without reordering the caller's slice.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}

@@ -124,7 +124,7 @@ func Run(m *pram.Machine, g *graph.Graph, p Params) Result {
 		return Result{CtxErr: err}
 	}
 
-	st := vanilla.NewState(g, p.Seed)
+	st := vanilla.NewState(g.N, g.Span(), p.Seed)
 
 	// PREPARE (§B.2): densify sparse instances with Vanilla phases.
 	prep := 0

@@ -65,7 +65,7 @@ func Run(m *pram.Machine, g *graph.Graph, p Params) Result {
 	}
 
 	// ---- COMPACT (§D): PREPARE + approximate compaction renaming ----
-	vst := vanilla.NewState(g, p.Seed)
+	vst := vanilla.NewState(g.N, g.Span(), p.Seed)
 	mEdges := g.NumEdges()
 	if mEdges == 0 {
 		res.Labels = vst.D.Parent

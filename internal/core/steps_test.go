@@ -14,7 +14,7 @@ import (
 // ongoing level-1 root, bypassing COMPACT.
 func newTestState(g *graph.Graph, params Params) *state {
 	p := params.filled()
-	vst := vanilla.NewState(g, p.Seed)
+	vst := vanilla.NewState(g.N, g.Span(), p.Seed)
 	s := &state{
 		p: p, n: g.N, m: pram.New(1),
 		coin:    pram.Coin{Seed: p.Seed},

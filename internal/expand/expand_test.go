@@ -10,7 +10,7 @@ import (
 
 func runExpand(t *testing.T, g *graph.Graph, p Params) *Outcome {
 	t.Helper()
-	arcs := labels.NewArcStore(g)
+	arcs := labels.NewArcStore(g.Span())
 	ongoing := make([]bool, g.N)
 	for v := range ongoing {
 		ongoing[v] = true
@@ -104,7 +104,7 @@ func TestExpandFullyDormant(t *testing.T) {
 	// With BlockSlack ≪ 1 most vertices share blocks and become fully
 	// dormant (no table).
 	g := graph.Cycle(100)
-	arcs := labels.NewArcStore(g)
+	arcs := labels.NewArcStore(g.Span())
 	ongoing := make([]bool, g.N)
 	for v := range ongoing {
 		ongoing[v] = true
@@ -129,7 +129,7 @@ func TestExpandFullyDormant(t *testing.T) {
 
 func TestExpandRespectsOngoingMask(t *testing.T) {
 	g := graph.Path(10)
-	arcs := labels.NewArcStore(g)
+	arcs := labels.NewArcStore(g.Span())
 	ongoing := make([]bool, g.N) // nobody participates
 	out := Run(pram.New(1), arcs, ongoing, bigParams(4))
 	for v := 0; v < g.N; v++ {
@@ -142,7 +142,7 @@ func TestExpandRespectsOngoingMask(t *testing.T) {
 func TestExpandSnapshotsMonotone(t *testing.T) {
 	// H_j(u) ⊆ H_{j+1}(u) under first-writer-wins insertion.
 	g := graph.Path(32)
-	arcs := labels.NewArcStore(g)
+	arcs := labels.NewArcStore(g.Span())
 	ongoing := make([]bool, g.N)
 	for v := range ongoing {
 		ongoing[v] = true
@@ -171,7 +171,7 @@ func TestExpandSnapshotsMonotone(t *testing.T) {
 func TestExpandBallInvariant(t *testing.T) {
 	// Lemma B.7: while live at round j, H_j(u) = B(u, 2^j).
 	g := graph.Path(17)
-	arcs := labels.NewArcStore(g)
+	arcs := labels.NewArcStore(g.Span())
 	ongoing := make([]bool, g.N)
 	for v := range ongoing {
 		ongoing[v] = true
@@ -209,7 +209,7 @@ func TestExpandBallInvariant(t *testing.T) {
 
 func TestExpandChargesCosts(t *testing.T) {
 	g := graph.Path(16)
-	arcs := labels.NewArcStore(g)
+	arcs := labels.NewArcStore(g.Span())
 	ongoing := make([]bool, g.N)
 	for v := range ongoing {
 		ongoing[v] = true

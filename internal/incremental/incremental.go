@@ -19,9 +19,11 @@
 //  3. parent[x] always names a vertex of x's component, so no CAS can
 //     merge components that share no edge.
 //
-// Batches are ingested by sharding the edge range over a reusable
-// internal/native worker pool (contiguous grain-sized chunks claimed
-// off an atomic cursor). After the pool barrier at the end of each
+// Batches are ingested by sharding the edge range over the
+// locality-aware grain-claim scheduler in internal/pool (contiguous
+// chunks claimed off per-worker range cursors, with stealing after a
+// worker's sticky home range is exhausted). After the pool barrier at
+// the end of each
 // batch, every component ingested so far is a single tree whose root
 // is the minimum vertex id of the component — the same canonical
 // labeling the one-shot native engine produces — and the engine
@@ -45,8 +47,8 @@ import (
 	"time"
 
 	"repro/graph"
-	"repro/internal/native"
 	"repro/internal/obs"
+	"repro/internal/pool"
 )
 
 // Union-find ingest metrics, process-wide across engines. The adds sit
@@ -60,15 +62,19 @@ var (
 		"edges unioned into the streaming union-find")
 )
 
-// grain is the number of edges or vertices a worker claims per fetch
-// of the shared cursor, as in the one-shot native engine.
-const grain = 4096
-
 // Options configures an engine.
 type Options struct {
 	// Workers is the goroutine count of the batch pool; 0 selects
 	// GOMAXPROCS.
 	Workers int
+	// Grain is the number of edges or vertices a worker claims per
+	// fetch of a range cursor; 0 derives pool.AdaptiveGrain from the
+	// batch size and worker count.
+	Grain int
+	// NoAffinity disables the sticky range-to-worker assignment and
+	// claims from one shared cursor (the pre-scheduler behavior; kept
+	// for the E17 ablation).
+	NoAffinity bool
 }
 
 // Snapshot is a consistent view of the labeling as of a batch
@@ -92,28 +98,28 @@ type Snapshot struct {
 type Engine struct {
 	n      int
 	parent []int32 // CAS-only disjoint-set forest, parent[x] <= x
-	pool   *native.Pool
+	pool   *pool.Pool
 	snap   atomic.Pointer[Snapshot]
+
+	grain      int
+	noAffinity bool
 
 	batches int
 	edges   int64
 
 	// Span-ingest state, written by the single writer between pool
-	// barriers only. The worker closures are bound once at
-	// construction so a steady-state span batch allocates nothing on
-	// the ingest path (the native.Engine discipline): spanWorker
-	// unions the columns of [spanU, spanV], pubWorker flattens the
-	// forest into pubLabels.
+	// barriers only. The chunk bodies are bound once at construction
+	// so a steady-state span batch allocates nothing on the ingest
+	// path (the native.Engine discipline): spanChunk unions the
+	// columns of [spanU, spanV], pubChunk flattens the forest into
+	// pubLabels. The claim cursors live in the scheduler.
 	spanU, spanV []int32
-	spanTotal    int // edges (even arcs) in the current span
 	spanCtx      context.Context
-	spanCursor   atomic.Int64
-	spanWorker   func(int)
+	spanChunk    func(worker, lo, hi int) bool
 
 	pubLabels []int32
 	pubRoots  atomic.Int64
-	pubCursor atomic.Int64
-	pubWorker func(int)
+	pubChunk  func(worker, lo, hi int) bool
 }
 
 // New returns an engine over n isolated vertices with a live worker
@@ -123,9 +129,9 @@ func New(n int, opt Options) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	e := &Engine{pool: native.NewPool(workers)}
-	e.spanWorker = e.spanWork
-	e.pubWorker = e.pubWork
+	e := &Engine{pool: pool.New(workers), grain: opt.Grain, noAffinity: opt.NoAffinity}
+	e.spanChunk = e.spanChunkBody
+	e.pubChunk = e.pubChunkBody
 	e.Reset(n)
 	return e
 }
@@ -205,6 +211,9 @@ func (e *Engine) Grow(n int) {
 
 // Workers returns the resolved worker count of the batch pool.
 func (e *Engine) Workers() int { return e.pool.Workers() }
+
+// Grain returns the configured claim grain (0 = adaptive).
+func (e *Engine) Grain() int { return e.grain }
 
 // N returns the vertex count.
 //
@@ -340,8 +349,8 @@ func (e *Engine) validateSpan(span graph.EdgeSpan) error {
 	return nil
 }
 
-// ingestSpan shards the span's edge range over the pool through the
-// pre-bound spanWorker, so a steady-state batch performs zero
+// ingestSpan shards the span's edge range over the scheduler through
+// the pre-bound spanChunk, so a steady-state batch performs zero
 // allocations between validation and publish. Writer-only, like
 // ingest.
 //
@@ -363,10 +372,8 @@ func (e *Engine) ingestSpan(ctx context.Context, span graph.EdgeSpan) error {
 		start = time.Now()
 	}
 	e.spanU, e.spanV = span.U, span.V
-	e.spanTotal = span.Len()
 	e.spanCtx = ctx
-	e.spanCursor.Store(0)
-	e.pool.Run(e.spanWorker)
+	e.pool.ShardedOpt(span.Len(), pool.ShardOptions{Grain: e.grain, NoAffinity: e.noAffinity}, e.spanChunk)
 	e.spanU, e.spanV, e.spanCtx = nil, nil, nil
 	if err := ctx.Err(); err != nil {
 		e.noteIngestErr(err)
@@ -420,27 +427,22 @@ func elapsedIf(enabled bool, start time.Time) time.Duration {
 	return time.Since(start)
 }
 
-// spanWork is the per-goroutine body of a span ingest: claim
-// grain-sized edge chunks off the shared cursor and union the even
-// arcs straight out of the columns.
+// spanChunkBody unions the even arcs of one claimed edge chunk
+// straight out of the span columns. The ctx check per chunk is the
+// cancellation contract: returning false stops this worker's claim
+// loop, and the other workers observe the same ctx on their own next
+// chunk.
 //
 //pramcc:zeroalloc
-func (e *Engine) spanWork(int) {
-	u, v := e.spanU, e.spanV
-	ctx, total := e.spanCtx, e.spanTotal
-	for ctx.Err() == nil {
-		lo := int(e.spanCursor.Add(grain)) - grain
-		if lo >= total {
-			return
-		}
-		hi := lo + grain
-		if hi > total {
-			hi = total
-		}
-		for i := lo; i < hi; i++ {
-			e.union(u[2*i], v[2*i])
-		}
+func (e *Engine) spanChunkBody(_, lo, hi int) bool {
+	if e.spanCtx.Err() != nil {
+		return false
 	}
+	u, v := e.spanU, e.spanV
+	for i := lo; i < hi; i++ {
+		e.union(u[2*i], v[2*i])
+	}
+	return true
 }
 
 // ingest shards [0, total) over the pool and unions each edge,
@@ -461,22 +463,15 @@ func (e *Engine) ingest(ctx context.Context, total int, edge func(i int) (int32,
 	if emit {
 		start = time.Now()
 	}
-	var cursor atomic.Int64
-	e.pool.Run(func(int) {
-		for ctx.Err() == nil {
-			lo := int(cursor.Add(grain)) - grain
-			if lo >= total {
-				return
-			}
-			hi := lo + grain
-			if hi > total {
-				hi = total
-			}
-			for i := lo; i < hi; i++ {
-				u, v := edge(i)
-				e.union(u, v)
-			}
+	e.pool.ShardedOpt(total, pool.ShardOptions{Grain: e.grain, NoAffinity: e.noAffinity}, func(_, lo, hi int) bool {
+		if ctx.Err() != nil {
+			return false
 		}
+		for i := lo; i < hi; i++ {
+			u, v := edge(i)
+			e.union(u, v)
+		}
+		return true
 	})
 	if err := ctx.Err(); err != nil {
 		e.noteIngestErr(err)
@@ -498,8 +493,7 @@ func (e *Engine) publish(edges int64) *Snapshot {
 	labels := make([]int32, e.n)
 	e.pubLabels = labels
 	e.pubRoots.Store(0)
-	e.pubCursor.Store(0)
-	e.pool.Run(e.pubWorker)
+	e.pool.ShardedOpt(e.n, pool.ShardOptions{Grain: e.grain, NoAffinity: e.noAffinity}, e.pubChunk)
 	e.pubLabels = nil
 	s := &Snapshot{
 		Labels:     labels,
@@ -511,34 +505,25 @@ func (e *Engine) publish(edges int64) *Snapshot {
 	return s
 }
 
-// pubWork is the per-goroutine body of a publish flatten: claim
-// grain-sized vertex chunks, resolve each vertex's root into the
-// labels being published, and count the roots seen.
+// pubChunkBody flattens one claimed vertex chunk: resolve each
+// vertex's root into the labels being published and count the roots
+// seen.
 //
 //pramcc:zeroalloc
-func (e *Engine) pubWork(int) {
+func (e *Engine) pubChunkBody(_, lo, hi int) bool {
 	labels := e.pubLabels
 	local := int64(0)
-	for {
-		lo := int(e.pubCursor.Add(grain)) - grain
-		if lo >= e.n {
-			break
-		}
-		hi := lo + grain
-		if hi > e.n {
-			hi = e.n
-		}
-		for v := lo; v < hi; v++ {
-			r := e.find(int32(v))
-			labels[v] = r
-			if r == int32(v) {
-				local++
-			}
+	for v := lo; v < hi; v++ {
+		r := e.find(int32(v))
+		labels[v] = r
+		if r == int32(v) {
+			local++
 		}
 	}
 	if local != 0 {
 		e.pubRoots.Add(local)
 	}
+	return true
 }
 
 // find returns the root of x with path splitting: each visited node is

@@ -14,15 +14,19 @@ type ArcStore struct {
 	Orig []int32 // index into the input graph's arc list, or -1 for added arcs
 }
 
-// NewArcStore copies the arcs of g; Orig[i] = i.
-func NewArcStore(g *graph.Graph) *ArcStore {
+// NewArcStore copies the arc columns of span; Orig[i] = i. Taking the
+// columnar view (rather than a *graph.Graph) keeps the simulator
+// layers on the same uniform data path as the native and incremental
+// engines: any SoA arc source — a Graph's Span(), a loader span, a
+// replay batch — seeds the store without boxing into pairs first.
+func NewArcStore(span graph.EdgeSpan) *ArcStore {
 	a := &ArcStore{
-		U:    make([]int32, len(g.U)),
-		V:    make([]int32, len(g.V)),
-		Orig: make([]int32, len(g.U)),
+		U:    make([]int32, len(span.U)),
+		V:    make([]int32, len(span.V)),
+		Orig: make([]int32, len(span.U)),
 	}
-	copy(a.U, g.U)
-	copy(a.V, g.V)
+	copy(a.U, span.U)
+	copy(a.V, span.V)
 	for i := range a.Orig {
 		a.Orig[i] = int32(i)
 	}

@@ -124,7 +124,7 @@ func TestTreeHeights(t *testing.T) {
 
 func TestArcStoreAlter(t *testing.T) {
 	g := graph.Path(4) // arcs (0,1),(1,0),(1,2),(2,1),(2,3),(3,2)
-	a := NewArcStore(g)
+	a := NewArcStore(g.Span())
 	d := NewSelfLabeled(4)
 	d.Parent[1] = 0
 	d.Parent[3] = 2
@@ -150,7 +150,7 @@ func TestArcStoreAlter(t *testing.T) {
 
 func TestArcStoreHasNonLoop(t *testing.T) {
 	g := graph.Path(3)
-	a := NewArcStore(g)
+	a := NewArcStore(g.Span())
 	m := pram.New(1)
 	if !a.HasNonLoop(m) {
 		t.Fatal("path arcs are non-loops")
@@ -168,7 +168,7 @@ func TestMarkIncident(t *testing.T) {
 	g := graph.New(4)
 	g.AddEdge(0, 1)
 	g.AddEdge(2, 2) // self-loop must not mark
-	a := NewArcStore(g)
+	a := NewArcStore(g.Span())
 	m := pram.New(1)
 	inc := make([]int32, 4)
 	a.MarkIncident(m, inc)
@@ -185,7 +185,7 @@ func TestAlterPreservesPartitionProperty(t *testing.T) {
 	// by trees: endpoints stay in the same component of (graph ∪ trees).
 	f := func(seed int64) bool {
 		g := graph.Gnm(50, 100, seed)
-		a := NewArcStore(g)
+		a := NewArcStore(g.Span())
 		d := NewSelfLabeled(50)
 		// Random valid links: parent to smaller id keeps acyclicity.
 		coin := pram.Coin{Seed: uint64(seed)}

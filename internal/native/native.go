@@ -17,14 +17,23 @@
 // explicitly are simply allowed to happen here; CAS-min makes every
 // interleaving safe.
 //
-// Work is sharded over a reusable worker pool: contiguous chunks of
-// the edge (and vertex) ranges are claimed with an atomic cursor, so
-// stragglers steal nothing but the remaining range and no goroutines
-// are spawned after engine start.
+// Work is sharded over the locality-aware grain-claim scheduler in
+// internal/pool: each worker sweeps a sticky contiguous home range of
+// the edge (and vertex) space first and steals from other ranges only
+// after exhausting it, so the same label cache lines keep landing in
+// the same core across the rounds of a solve. The first link sweep is
+// fused: it links each edge to the root (the incremental engine's
+// union discipline, with path splitting), which connects the whole
+// label forest in one pass regardless of diameter, while packing the
+// two stride-2 arc columns (U[2i], V[2i]) into one contiguous
+// interleaved buffer. The rounds that follow are then cheap
+// verification sweeps over half the bytes, and the convergence test —
+// a full round with no change — is unchanged and still ranges over
+// every edge. Options carries ablation switches for both.
 //
 // The Engine type is the long-lived form: it owns the worker pool and
-// the pre-bound worker closure, so repeated Run calls on same-sized
-// graphs perform zero allocations — the shape pramcc.Solver builds on.
+// the packed-arc buffer, so repeated Run calls on same-sized graphs
+// perform zero allocations — the shape pramcc.Solver builds on.
 // Components remains the one-shot convenience wrapper.
 package native
 
@@ -36,6 +45,7 @@ import (
 
 	"repro/graph"
 	"repro/internal/obs"
+	"repro/internal/pool"
 )
 
 // Engine-level metrics: completed runs and link+shortcut rounds,
@@ -48,15 +58,22 @@ var (
 		"link+shortcut rounds executed by the native engine")
 )
 
-// grain is the number of edges or vertices a worker claims per fetch
-// of the shared cursor: large enough to amortize the atomic add, small
-// enough to balance skewed chunks across workers.
-const grain = 4096
-
 // Options configures an engine run.
 type Options struct {
 	// Workers is the goroutine count; 0 selects GOMAXPROCS.
 	Workers int
+	// Grain is the number of edges or vertices a worker claims per
+	// fetch of a range cursor; 0 derives pool.AdaptiveGrain from the
+	// sweep size and worker count.
+	Grain int
+	// NoAffinity disables the sticky range-to-worker assignment and
+	// claims from one shared cursor (the pre-scheduler behavior).
+	NoAffinity bool
+	// NoPack disables the fused first sweep — root-linking plus arc
+	// packing — and performs one-hop CAS-min over the stride-2 graph
+	// columns on every link sweep (the pre-scheduler behavior). Both
+	// No* switches exist for the E17 ablation.
+	NoPack bool
 }
 
 // Result is a component labeling with engine statistics. Unlike the
@@ -71,9 +88,11 @@ type Result struct {
 	Workers int
 }
 
-// phase selects the worker body of the current sweep.
+// phase selects the chunk body of the current sweep.
 const (
-	phaseLink int32 = iota
+	phaseLink       int32 = iota // link from the stride-2 graph columns (NoPack)
+	phaseLinkPack                // link from the graph columns, packing arcs as it goes
+	phaseLinkPacked              // link from the packed interleaved buffer
 	phaseShortcut
 )
 
@@ -81,35 +100,57 @@ const (
 // spawned once at construction; Run may be called any number of times
 // (from one goroutine at a time) and allocates nothing itself — the
 // caller provides the label buffer. Close releases the pool.
+//
+// The engine retains its packed-arc buffer across runs (grow-or-reuse,
+// 8 bytes per edge at high-water mark); callers that solve one huge
+// graph and then hold the engine idle should Close and rebuild it.
 type Engine struct {
-	pool    *Pool
-	cursor  atomic.Int64
-	changed atomic.Bool
+	pool       *Pool
+	changed    atomic.Bool
+	grain      int
+	noAffinity bool
+	noPack     bool
 
-	// Per-run state, written by Run between pool barriers only.
+	// Per-run state, written by Run between pool barriers only. arcs
+	// holds the even (representative) arcs interleaved [u0 v0 u1 v1 …],
+	// filled by the first link sweep and read by every later one.
 	g      *graph.Graph
 	labels []int32
-	total  int
 	phase  int32
+	arcs   []int32
 
-	// work is the worker body bound once at construction so Run does
+	// chunk is the sweep body bound once at construction so Run does
 	// not create a closure (and therefore does not allocate) per call.
-	work func(int)
+	chunk func(worker, lo, hi int) bool
 }
 
 // NewEngine spawns an engine with its worker pool; workers ≤ 0 selects
 // GOMAXPROCS.
 func NewEngine(workers int) *Engine {
+	return NewEngineOpt(Options{Workers: workers})
+}
+
+// NewEngineOpt spawns an engine with the full option set.
+func NewEngineOpt(opt Options) *Engine {
+	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	e := &Engine{pool: NewPool(workers)}
-	e.work = e.worker
+	e := &Engine{
+		pool:       NewPool(workers),
+		grain:      opt.Grain,
+		noAffinity: opt.NoAffinity,
+		noPack:     opt.NoPack,
+	}
+	e.chunk = e.chunkBody
 	return e
 }
 
 // Workers returns the engine's resolved worker count.
 func (e *Engine) Workers() int { return e.pool.Workers() }
+
+// Grain returns the configured claim grain (0 = adaptive).
+func (e *Engine) Grain() int { return e.grain }
 
 // Close releases the worker pool. Idempotent; the engine must be idle.
 func (e *Engine) Close() { e.pool.Close() }
@@ -144,6 +185,16 @@ func (e *Engine) Run(ctx context.Context, g *graph.Graph, labels []int32) (int, 
 	e.g, e.labels = g, labels
 	defer func() { e.g, e.labels = nil, nil }()
 
+	linkPhase := phaseLink
+	if !e.noPack {
+		linkPhase = phaseLinkPack
+		if cap(e.arcs) < 2*numEdges {
+			//pramcc:allow zeroalloc -- grow-or-reuse contract: allocates only when the edge count outgrows the retained buffer
+			e.arcs = make([]int32, 2*numEdges)
+		}
+		e.arcs = e.arcs[:2*numEdges]
+	}
+
 	// Event emission is decided once per run: the envelope (and its
 	// measures map) is built only when an operator attached a sink, so
 	// the default round loop stays allocation-free.
@@ -163,7 +214,10 @@ func (e *Engine) Run(ctx context.Context, g *graph.Graph, labels []int32) (int, 
 		if emit {
 			roundStart = time.Now()
 		}
-		linked := e.sweep(phaseLink, numEdges)
+		linked := e.sweep(linkPhase, numEdges)
+		if linkPhase == phaseLinkPack {
+			linkPhase = phaseLinkPacked
+		}
 		cut := e.sweep(phaseShortcut, g.N)
 		if emit {
 			obs.Emit(obs.Event{Source: "native", Category: "engine",
@@ -195,47 +249,45 @@ func b2f(b bool) float64 {
 	return 0
 }
 
-// sweep shards [0, total) into grain-sized chunks claimed off the
-// shared cursor and reports whether any worker changed a label.
+// sweep runs the current phase over [0, total) on the shared
+// locality-aware scheduler and reports whether any worker changed a
+// label.
 //
 //pramcc:zeroalloc
 func (e *Engine) sweep(phase int32, total int) bool {
-	e.phase, e.total = phase, total
-	e.cursor.Store(0)
+	e.phase = phase
 	e.changed.Store(false)
-	e.pool.Run(e.work)
+	e.pool.ShardedOpt(total, pool.ShardOptions{Grain: e.grain, NoAffinity: e.noAffinity}, e.chunk)
 	return e.changed.Load()
 }
 
-// worker is the per-goroutine body of a sweep.
+// chunkBody dispatches one claimed chunk to the current phase's sweep
+// body. It always returns true: the native engine cancels at round
+// boundaries, not per chunk.
 //
 //pramcc:zeroalloc
-func (e *Engine) worker(int) {
-	local := false
-	for {
-		lo := int(e.cursor.Add(grain)) - grain
-		if lo >= e.total {
-			break
-		}
-		hi := lo + grain
-		if hi > e.total {
-			hi = e.total
-		}
-		if e.phase == phaseLink {
-			local = e.link(lo, hi) || local
-		} else {
-			local = e.shortcut(lo, hi) || local
-		}
+func (e *Engine) chunkBody(_, lo, hi int) bool {
+	var local bool
+	switch e.phase {
+	case phaseLink:
+		local = e.link(lo, hi)
+	case phaseLinkPack:
+		local = e.linkPack(lo, hi)
+	case phaseLinkPacked:
+		local = e.linkPacked(lo, hi)
+	default:
+		local = e.shortcut(lo, hi)
 	}
 	if local {
 		e.changed.Store(true)
 	}
+	return true
 }
 
 // link lowers both endpoints of every edge in [lo, hi) towards the
-// smaller of their two current labels. Arcs come in mirror pairs, so
-// scanning arc 2e covers edge e in both directions (the update is
-// symmetric in u and v).
+// smaller of their two current labels, reading the stride-2 graph
+// columns. Arcs come in mirror pairs, so scanning arc 2e covers edge e
+// in both directions (the update is symmetric in u and v).
 //
 //pramcc:zeroalloc
 func (e *Engine) link(lo, hi int) bool {
@@ -243,6 +295,101 @@ func (e *Engine) link(lo, hi int) bool {
 	local := false
 	for i := lo; i < hi; i++ {
 		u, v := g.U[2*i], g.V[2*i]
+		if u == v {
+			continue
+		}
+		pu := atomic.LoadInt32(&labels[u])
+		pv := atomic.LoadInt32(&labels[v])
+		switch {
+		case pv < pu:
+			local = casMin(labels, pu, pv) || local
+		case pu < pv:
+			local = casMin(labels, pv, pu) || local
+		}
+	}
+	return local
+}
+
+// linkPack is the fused first sweep: it packs the even arcs into the
+// interleaved buffer while linking each edge all the way — the larger
+// root is CAS-linked under the smaller, retrying from the fresh roots
+// on contention, so both endpoints share a root when the call moves
+// on (the incremental engine's union discipline). One such sweep
+// connects the whole label forest regardless of diameter, so the
+// rounds that follow are cheap all-labels-equal verification sweeps
+// instead of further rounds of propagation. The packing traffic rides
+// on a sweep that had to read the graph columns anyway.
+//
+//pramcc:zeroalloc
+func (e *Engine) linkPack(lo, hi int) bool {
+	g, labels, arcs := e.g, e.labels, e.arcs
+	local := false
+	for i := lo; i < hi; i++ {
+		u, v := g.U[2*i], g.V[2*i]
+		arcs[2*i], arcs[2*i+1] = u, v
+		if u == v {
+			continue
+		}
+		local = rootLink(labels, u, v) || local
+	}
+	return local
+}
+
+// rootLink links the roots of u and v by index minimum, retrying on a
+// lost race, and reports whether it wrote. Writes target current
+// roots only and labels strictly decrease, so parent[x] ≤ x and
+// acyclicity hold on every interleaving — the same argument as the
+// incremental engine's union.
+//
+//pramcc:zeroalloc
+func rootLink(labels []int32, u, v int32) bool {
+	wrote := false
+	for {
+		ru, rv := findRoot(labels, u), findRoot(labels, v)
+		if ru == rv {
+			return wrote
+		}
+		if ru > rv {
+			ru, rv = rv, ru
+		}
+		if atomic.CompareAndSwapInt32(&labels[rv], rv, ru) {
+			return true
+		}
+		u, v = ru, rv
+	}
+}
+
+// findRoot returns the root of x with path splitting: each visited
+// vertex is CASed from its parent to its grandparent. A failed CAS
+// means a racing find already improved the pointer; progress stays
+// monotone because labels strictly decrease along every path.
+//
+//pramcc:zeroalloc
+func findRoot(labels []int32, x int32) int32 {
+	for {
+		p := atomic.LoadInt32(&labels[x])
+		if p == x {
+			return x
+		}
+		gp := atomic.LoadInt32(&labels[p])
+		if gp == p {
+			return p
+		}
+		atomic.CompareAndSwapInt32(&labels[x], p, gp)
+		x = gp
+	}
+}
+
+// linkPacked is link reading the interleaved packed buffer: half the
+// memory traffic of the stride-2 column walk, which is the whole cost
+// of a link sweep once the labels are cache-resident.
+//
+//pramcc:zeroalloc
+func (e *Engine) linkPacked(lo, hi int) bool {
+	labels, arcs := e.labels, e.arcs
+	local := false
+	for i := lo; i < hi; i++ {
+		u, v := arcs[2*i], arcs[2*i+1]
 		if u == v {
 			continue
 		}
@@ -283,7 +430,7 @@ func (e *Engine) shortcut(lo, hi int) bool {
 // Long-lived callers should hold an Engine (or a pramcc.Solver) to
 // amortize that construction.
 func Components(g *graph.Graph, opt Options) *Result {
-	e := NewEngine(opt.Workers)
+	e := NewEngineOpt(opt)
 	defer e.Close()
 	labels := make([]int32, g.N)
 	rounds, _ := e.Run(context.Background(), g, labels)

@@ -34,11 +34,18 @@ type Pool struct {
 	jobs      []chan func(worker int)
 	wg        sync.WaitGroup
 	closeOnce sync.Once
+
+	// shard is the pool-owned claim state behind Sharded/ShardedOpt,
+	// with shardWork pre-bound once here so dispatching a sharded
+	// sweep allocates nothing.
+	shard     Shard
+	shardWork func(worker int)
 }
 
 // New spawns a pool of the given worker count (must be > 0).
 func New(workers int) *Pool {
 	p := &Pool{jobs: make([]chan func(worker int), workers)}
+	p.shardWork = p.shard.Work
 	for i := range p.jobs {
 		ch := make(chan func(worker int))
 		p.jobs[i] = ch

@@ -19,6 +19,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/pool"
 )
 
 // Machine is an ARBITRARY CRCW PRAM simulator with cost accounting.
@@ -79,24 +81,32 @@ func (m *Machine) StepCost(cost, procs int, f func(i int)) {
 		}
 		return
 	}
+	m.runSharded(procs, f)
+}
+
+// runSharded fans f over [0, total) on fresh per-step goroutines,
+// claiming chunks through a stack-local locality-aware shard
+// (internal/pool): each worker sweeps a sticky home range of the
+// processor index space first and steals from the others after — the
+// same scheduler the native and incremental engines run on, so the
+// spanning backend's tree-shortcut sweeps get the same range affinity.
+// The shard is per-call state, which keeps nested steps (a step body
+// invoking another Step) safe.
+func (m *Machine) runSharded(total int, f func(i int)) {
+	var sh pool.Shard
+	sh.Init(total, 0, m.workers, true, func(_, lo, hi int) bool {
+		for i := lo; i < hi; i++ {
+			f(i)
+		}
+		return true
+	})
 	var wg sync.WaitGroup
-	chunk := (procs + m.workers - 1) / m.workers
+	wg.Add(m.workers)
 	for w := 0; w < m.workers; w++ {
-		lo := w * chunk
-		if lo >= procs {
-			break
-		}
-		hi := lo + chunk
-		if hi > procs {
-			hi = procs
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				f(i)
-			}
-		}(lo, hi)
+			sh.Work(w)
+		}(w)
 	}
 	wg.Wait()
 }
@@ -123,26 +133,7 @@ func (m *Machine) StepN(chargedProcs, iters int, f func(i int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	chunk := (iters + m.workers - 1) / m.workers
-	for w := 0; w < m.workers; w++ {
-		lo := w * chunk
-		if lo >= iters {
-			break
-		}
-		hi := lo + chunk
-		if hi > iters {
-			hi = iters
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				f(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	m.runSharded(iters, f)
 }
 
 // ChargeSteps adds time units without running processors. Used when an

@@ -56,6 +56,24 @@ type Result struct {
 	Stats  pram.Stats
 }
 
+// ForestSpan materializes the forest edges as a columnar arc-pair span
+// over the graph the result was computed from — the SoA view of
+// ForestEdges, in the same index order, with mirror arcs, ready for
+// zero-copy ingestion by the engines (graph.EdgeSpan is the uniform
+// edge currency of the data path). Returns an empty span when the run
+// failed or was cancelled.
+func (r *Result) ForestSpan(g *graph.Graph) graph.EdgeSpan {
+	u := make([]int32, 0, 2*len(r.ForestEdges))
+	v := make([]int32, 0, 2*len(r.ForestEdges))
+	span := g.Span()
+	for _, idx := range r.ForestEdges {
+		a, b := span.Edge(idx)
+		u = append(u, a, b)
+		v = append(v, b, a)
+	}
+	return graph.EdgeSpan{U: u, V: v}
+}
+
 // Run executes Spanning Forest algorithm on g.
 func Run(m *pram.Machine, g *graph.Graph, p Params) Result {
 	if p.BExp == 0 {
@@ -73,7 +91,7 @@ func Run(m *pram.Machine, g *graph.Graph, p Params) Result {
 		return Result{CtxErr: err}
 	}
 
-	st := vanilla.NewSFState(g, p.Seed)
+	st := vanilla.NewSFState(g.N, g.Span(), p.Seed)
 
 	// FOREST-PREPARE: Vanilla-SF phases on sparse inputs.
 	prep := 0

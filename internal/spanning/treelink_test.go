@@ -17,7 +17,7 @@ import (
 func treeLinkFixture(t *testing.T, g *graph.Graph, leaders map[int]bool, tableSize int) (*expand.Outcome, treeLinkOutput) {
 	t.Helper()
 	m := pram.New(1)
-	arcs := labels.NewArcStore(g)
+	arcs := labels.NewArcStore(g.Span())
 	ongoingB := make([]bool, g.N)
 	ongoing := make([]int32, g.N)
 	for v := 0; v < g.N; v++ {
@@ -115,7 +115,7 @@ func TestLemmaC6WitnessArcs(t *testing.T) {
 	g := graph.Grid2D(6, 7)
 	leaders := map[int]bool{0: true, 41: true}
 	_, out := treeLinkFixture(t, g, leaders, 2048)
-	arcs := labels.NewArcStore(g)
+	arcs := labels.NewArcStore(g.Span())
 	for v := 0; v < g.N; v++ {
 		if out.Beta[v] < 1 {
 			continue
@@ -157,7 +157,7 @@ func TestTreeLinkLinksDecreaseBeta(t *testing.T) {
 	g := graph.CliqueBeads(graph.CliqueBeadsSpec{Beads: 6, Size: 6, IntraDeg: 5, Bridges: 1, Seed: 2})
 	leaders := map[int]bool{0: true}
 	_, out := treeLinkFixture(t, g, leaders, 4096)
-	arcs := labels.NewArcStore(g)
+	arcs := labels.NewArcStore(g.Span())
 	for v := 0; v < g.N; v++ {
 		if out.Beta[v] < 1 {
 			continue

@@ -23,13 +23,16 @@ type State struct {
 	leader []int32 // u.l of the current phase
 }
 
-// NewState initializes the self-labeled digraph and arc store for g.
-func NewState(g *graph.Graph, seed uint64) *State {
+// NewState initializes the self-labeled digraph and arc store for n
+// vertices and the columnar arc span — the same SoA view the native
+// and incremental engines ingest, so simulator callers pass g.Span()
+// (or any loader/replay span) without boxing.
+func NewState(n int, span graph.EdgeSpan, seed uint64) *State {
 	return &State{
-		D:      labels.NewSelfLabeled(g.N),
-		Arcs:   labels.NewArcStore(g),
+		D:      labels.NewSelfLabeled(n),
+		Arcs:   labels.NewArcStore(span),
 		Coin:   pram.Coin{Seed: seed},
-		leader: make([]int32, g.N),
+		leader: make([]int32, n),
 	}
 }
 
@@ -79,7 +82,7 @@ type Result struct {
 // Run executes Vanilla algorithm until only loops remain. maxPhases
 // bounds the loop defensively (≤0 means 4·log2(n)+32).
 func Run(m *pram.Machine, g *graph.Graph, seed uint64, maxPhases int) Result {
-	s := NewState(g, seed)
+	s := NewState(g.N, g.Span(), seed)
 	if maxPhases <= 0 {
 		maxPhases = defaultPhaseCap(g.N)
 	}

@@ -58,7 +58,7 @@ func log2(n int) int {
 func TestVanillaFlatAtPhaseStart(t *testing.T) {
 	// Lemma B.2: trees are flat at the start of every phase.
 	g := graph.Gnm(500, 1500, 9)
-	s := NewState(g, 3)
+	s := NewState(g.N, g.Span(), 3)
 	m := pram.New(1)
 	for i := 0; i < 20; i++ {
 		if !s.D.IsFlat() {
@@ -77,7 +77,7 @@ func TestVanillaMonotone(t *testing.T) {
 	// Monotonicity (§2.1): the partition only coarsens; two vertices in
 	// the same tree stay in the same tree.
 	g := graph.Gnm(300, 900, 11)
-	s := NewState(g, 5)
+	s := NewState(g.N, g.Span(), 5)
 	m := pram.New(1)
 	prev := s.D.RootsOf()
 	for i := 0; i < 20; i++ {
@@ -125,7 +125,7 @@ func TestVanillaSFCorrectAndValid(t *testing.T) {
 
 func TestVanillaSFForestGrowsMonotonically(t *testing.T) {
 	g := graph.Gnm(400, 1200, 13)
-	s := NewSFState(g, 2)
+	s := NewSFState(g.N, g.Span(), 2)
 	m := pram.New(1)
 	prevMarks := 0
 	for i := 0; i < 30; i++ {

@@ -14,12 +14,13 @@ type SFState struct {
 	ForestArc []bool  // eˆ.f indexed by original arc index
 }
 
-// NewSFState initializes Vanilla-SF state for g.
-func NewSFState(g *graph.Graph, seed uint64) *SFState {
+// NewSFState initializes Vanilla-SF state for n vertices and the
+// columnar arc span (see NewState).
+func NewSFState(n int, span graph.EdgeSpan, seed uint64) *SFState {
 	s := &SFState{
-		State:     *NewState(g, seed),
-		ChosenArc: make([]int32, g.N),
-		ForestArc: make([]bool, g.NumArcs()),
+		State:     *NewState(n, span, seed),
+		ChosenArc: make([]int32, n),
+		ForestArc: make([]bool, len(span.U)),
 	}
 	return s
 }
@@ -100,7 +101,7 @@ type SFResult struct {
 
 // RunSF executes Vanilla-SF until only loops remain.
 func RunSF(m *pram.Machine, g *graph.Graph, seed uint64, maxPhases int) SFResult {
-	s := NewSFState(g, seed)
+	s := NewSFState(g.N, g.Span(), seed)
 	if maxPhases <= 0 {
 		maxPhases = defaultPhaseCap(g.N)
 	}

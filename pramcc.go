@@ -25,6 +25,7 @@ type Stats struct {
 	Wall    time.Duration // wall clock of the run itself — result assembly (label counting) is excluded
 	Workers int           // host goroutine count that executed the run
 	Rounds  int           // main-loop rounds: EXPAND-MAXLINK rounds or phases (simulated), link+shortcut rounds (native)
+	Grain   int           // configured scheduler claim grain (WithGrain); 0 means adaptive sizing
 
 	// ---- model-only quantities (BackendSimulated; zero on native) ----
 
@@ -59,8 +60,13 @@ type ForestResult struct {
 	// EdgeIndices are indices into g.Edges() of the forest edges;
 	// exactly n − NumComponents of them.
 	EdgeIndices []int
-	// Edges are the forest edges themselves.
+	// Edges are the forest edges themselves, as boxed pairs (kept for
+	// compatibility; Span is the columnar form).
 	Edges [][2]int
+	// Span is the forest as a columnar arc-pair span (mirror arcs, in
+	// EdgeIndices order) — directly ingestible by Service.IngestSpan,
+	// Incremental.AddSpan, or any other EdgeSpan consumer.
+	Span graph.EdgeSpan
 }
 
 func validate(g *graph.Graph) error {

@@ -66,12 +66,13 @@ type streamEngine interface {
 
 // backendInfo is one registry entry: the Backend value, its canonical
 // flag/JSON name, accepted aliases, and the factory building its
-// engine for a resolved worker count.
+// engine from the construction-time knobs of a config (workers,
+// grain); per-call parameters travel with each solve instead.
 type backendInfo struct {
 	backend   Backend
 	name      string
 	aliases   []string
-	newEngine func(workers int) engine
+	newEngine func(c *config) engine
 }
 
 // registry lists every execution backend in registration order. CLIs
@@ -83,23 +84,23 @@ var registry = []backendInfo{
 		backend: BackendSimulated,
 		name:    "simulated",
 		aliases: []string{"sim"},
-		newEngine: func(workers int) engine {
-			return &simulatedEngine{workers: workers}
+		newEngine: func(c *config) engine {
+			return &simulatedEngine{workers: c.workers}
 		},
 	},
 	{
 		backend: BackendNative,
 		name:    "native",
-		newEngine: func(workers int) engine {
-			return &nativeEngine{eng: native.NewEngine(workers)}
+		newEngine: func(c *config) engine {
+			return &nativeEngine{eng: native.NewEngineOpt(native.Options{Workers: c.workers, Grain: c.grain})}
 		},
 	},
 	{
 		backend: BackendIncremental,
 		name:    "incremental",
 		aliases: []string{"inc"},
-		newEngine: func(workers int) engine {
-			return &incrementalEngine{eng: incremental.New(0, incremental.Options{Workers: workers})}
+		newEngine: func(c *config) engine {
+			return &incrementalEngine{eng: incremental.New(0, incremental.Options{Workers: c.workers, Grain: c.grain})}
 		},
 	},
 }
@@ -216,6 +217,7 @@ func (e *nativeEngine) solve(ctx context.Context, g *graph.Graph, c *config, out
 		Backend: BackendNative,
 		Workers: e.eng.Workers(),
 		Rounds:  rounds,
+		Grain:   e.eng.Grain(),
 	}
 	return nil
 }
@@ -247,6 +249,7 @@ func (e *incrementalEngine) solve(ctx context.Context, g *graph.Graph, c *config
 		Backend: BackendIncremental,
 		Workers: e.eng.Workers(),
 		Rounds:  snap.Batches, // one batch for a one-shot run
+		Grain:   e.eng.Grain(),
 	}
 	return nil
 }
@@ -272,6 +275,7 @@ func (e *incrementalEngine) ingest(ctx context.Context, span graph.EdgeSpan, out
 		Backend: BackendIncremental,
 		Workers: e.eng.Workers(),
 		Rounds:  snap.Batches,
+		Grain:   e.eng.Grain(),
 	}
 	return snap.Components, nil
 }

@@ -65,7 +65,7 @@ func newSolverFromConfig(c config) (*Solver, error) {
 	if !ok {
 		return nil, errUnknownBackend(int(c.backend))
 	}
-	return &Solver{cfg: c, eng: info.newEngine(c.workers)}, nil
+	return &Solver{cfg: c, eng: info.newEngine(&c)}, nil
 }
 
 // Backend returns the execution backend this Solver was built with.
@@ -195,10 +195,9 @@ func spanningForest(ctx context.Context, g *graph.Graph, c config) (*ForestResul
 	if res.CtxErr != nil {
 		return nil, res.CtxErr
 	}
-	edges := make([][2]int, 0, len(res.ForestEdges))
-	for _, idx := range res.ForestEdges {
-		edges = append(edges, [2]int{int(g.U[2*idx]), int(g.V[2*idx])})
-	}
+	// The columnar span is the canonical output; the boxed Edges pairs
+	// are derived from it for compatibility.
+	span := res.ForestSpan(g)
 	out := &ForestResult{
 		Result: *newResult(wall, res.Labels, Stats{
 			Backend:       BackendSimulated,
@@ -212,7 +211,8 @@ func spanningForest(ctx context.Context, g *graph.Graph, c config) (*ForestResul
 			Failed:        res.Failed,
 		}),
 		EdgeIndices: res.ForestEdges,
-		Edges:       edges,
+		Edges:       span.Pairs(),
+		Span:        span,
 	}
 	if res.Failed {
 		return out, errPhaseCap(res.Phases)
@@ -239,6 +239,7 @@ func (s *Solver) Close() {
 type engineKey struct {
 	backend Backend
 	workers int
+	grain   int
 }
 
 var (
@@ -270,7 +271,7 @@ func sharedSolve(ctx context.Context, g *graph.Graph, c config) (*Result, error)
 	if err := validate(g); err != nil {
 		return nil, err
 	}
-	key := engineKey{backend: c.backend, workers: c.workers}
+	key := engineKey{backend: c.backend, workers: c.workers, grain: c.grain}
 	sharedMu.Lock()
 	s, ok := sharedSolvers[key]
 	if !ok {
