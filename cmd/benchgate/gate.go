@@ -22,10 +22,13 @@ type benchSet struct {
 //
 //	BenchmarkNativeSolve/small/w1-4   100   123456 ns/op   0 B/op ...
 //
-// the first field being the name (with the -GOMAXPROCS suffix, which
-// is kept: a run at a different GOMAXPROCS is a different
-// configuration and must not be pooled with the baseline's). Non-result
-// lines (pkg headers, PASS, ok) are skipped.
+// the first field being the name. The trailing -GOMAXPROCS suffix is
+// stripped (benchstat does the same): it varies with the host's CPU
+// count, and the gate matrix already pins the worker configuration in
+// the w1/wmax axis labels, so keeping the suffix would make a baseline
+// recorded at one GOMAXPROCS never match a run at another and the gate
+// would go vacuous on any differently-sized runner. Non-result lines
+// (pkg headers, PASS, ok) are skipped.
 func parseBenchFile(path string) (*benchSet, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -49,7 +52,7 @@ func parseBenchFile(path string) (*benchSet, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%s: bad ns/op %q on line %q", path, fields[i], sc.Text())
 			}
-			name := fields[0]
+			name := stripProcSuffix(fields[0])
 			if _, seen := set.samples[name]; !seen {
 				set.order = append(set.order, name)
 			}
@@ -61,6 +64,24 @@ func parseBenchFile(path string) (*benchSet, error) {
 		return nil, err
 	}
 	return set, nil
+}
+
+// stripProcSuffix removes the trailing -N GOMAXPROCS suffix go test
+// appends to benchmark names ("BenchmarkGate/small/native/w1-4" →
+// "BenchmarkGate/small/native/w1"). Names without an all-digit tail
+// after the last '-' (including suffix-less single-core output) pass
+// through unchanged.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, r := range name[i+1:] {
+		if r < '0' || r > '9' {
+			return name
+		}
+	}
+	return name[:i]
 }
 
 // median returns the middle of xs (mean of the middle two when even).
@@ -75,8 +96,12 @@ func median(xs []float64) float64 {
 
 // run compares baseline and current and writes the report to w,
 // returning the process exit code: 0 when the gate passes, 1 when any
-// benchmark regressed significantly beyond threshold.
-func run(w io.Writer, basePath, curPath string, threshold, alpha float64) (int, error) {
+// benchmark regressed significantly beyond threshold. With strict set,
+// a benchmark present in the current run but absent from the baseline
+// is also a failure: the declared gate matrix must have baseline
+// coverage, otherwise whole configurations (say, the parallel wmax
+// axis) silently never gate.
+func run(w io.Writer, basePath, curPath string, threshold, alpha float64, strict bool) (int, error) {
 	base, err := parseBenchFile(basePath)
 	if err != nil {
 		return 0, err
@@ -118,20 +143,33 @@ func run(w io.Writer, basePath, curPath string, threshold, alpha float64) (int, 
 		fmt.Fprintf(w, "%-58s %14s %14s %+8.1f%% %8.3f  %s\n",
 			name, formatNs(mb), formatNs(mc), delta*100, p, verdict)
 	}
+	var uncovered []string
 	for _, name := range cur.order {
 		if _, ok := base.samples[name]; !ok {
 			fmt.Fprintf(w, "%-58s new benchmark, no baseline yet\n", name)
+			uncovered = append(uncovered, name)
 		}
 	}
 	if compared == 0 {
 		return 0, fmt.Errorf("no benchmark appears in both %s and %s — the gate would be vacuous", basePath, curPath)
 	}
-
+	failed := false
 	if len(regressions) > 0 {
+		failed = true
 		fmt.Fprintf(w, "\nGATE FAILED: %d significant regression(s) beyond %+.0f%%:\n", len(regressions), threshold*100)
 		for _, r := range regressions {
 			fmt.Fprintf(w, "  %s\n", r)
 		}
+	}
+	if strict && len(uncovered) > 0 {
+		failed = true
+		fmt.Fprintf(w, "\nGATE FAILED: %d benchmark(s) have no baseline coverage (strict mode):\n", len(uncovered))
+		for _, name := range uncovered {
+			fmt.Fprintf(w, "  %s\n", name)
+		}
+		fmt.Fprintf(w, "refresh the baseline (scripts/bench_gate.sh update) so every matrix configuration is gated\n")
+	}
+	if failed {
 		return 1, nil
 	}
 	fmt.Fprintf(w, "\ngate passed: %d benchmark(s) compared, none regressed beyond %+.0f%% at alpha %.2f\n",

@@ -40,12 +40,57 @@ func TestParseBenchFile(t *testing.T) {
 	if len(set.order) != 2 {
 		t.Fatalf("parsed %d names, want 2: %v", len(set.order), set.order)
 	}
-	got := set.samples["BenchmarkGate/small/native/w1-4"]
+	got := set.samples["BenchmarkGate/small/native/w1"]
 	if len(got) != 3 || got[0] != 100 || got[2] != 105 {
 		t.Fatalf("samples = %v", got)
 	}
-	if o := set.samples["BenchmarkOther-4"]; len(o) != 1 || o[0] != 55.5 {
+	if o := set.samples["BenchmarkOther"]; len(o) != 1 || o[0] != 55.5 {
 		t.Fatalf("BenchmarkOther samples = %v", o)
+	}
+}
+
+// TestStripProcSuffix pins the GOMAXPROCS-suffix normalization that
+// keeps a baseline recorded at one CPU count comparable on another.
+func TestStripProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkGate/small/native/w1-4":  "BenchmarkGate/small/native/w1",
+		"BenchmarkGate/small/native/w1-16": "BenchmarkGate/small/native/w1",
+		"BenchmarkGate/small/native/w1":    "BenchmarkGate/small/native/w1", // single-core output has no suffix
+		"BenchmarkOther-8":                 "BenchmarkOther",
+		"BenchmarkOther":                   "BenchmarkOther",
+		"BenchmarkOther-":                  "BenchmarkOther-",
+		"BenchmarkOther-4x":                "BenchmarkOther-4x",
+	}
+	for in, want := range cases {
+		if got := stripProcSuffix(in); got != want {
+			t.Errorf("stripProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestGateAcrossGOMAXPROCS: a baseline written on a single-core host
+// (no -N suffix) must compare against a multi-core run (suffixed
+// names) instead of reporting zero overlap and erroring out.
+func TestGateAcrossGOMAXPROCS(t *testing.T) {
+	noSuffix := func(name string, ns ...float64) []string {
+		out := make([]string, len(ns))
+		for i, v := range ns {
+			out[i] = fmt.Sprintf("%s \t       1\t  %.0f ns/op", name, v)
+		}
+		return out
+	}
+	base := writeBench(t, "base.txt", noSuffix("BenchmarkGate/small/native/w1", 100000, 101000, 99000, 100500, 99500)...)
+	cur := writeBench(t, "cur.txt", benchLines("BenchmarkGate/small/native/w1", 100400, 100900, 99400, 100100, 99800)...)
+	var sb strings.Builder
+	code, err := run(&sb, base, cur, 0.15, 0.05, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; output:\n%s", code, sb.String())
+	}
+	if strings.Contains(sb.String(), "no baseline yet") {
+		t.Fatalf("suffixed run did not match suffix-less baseline:\n%s", sb.String())
 	}
 }
 
@@ -85,7 +130,7 @@ func TestGateFailsOnRegression(t *testing.T) {
 	base := writeBench(t, "base.txt", benchLines("BenchmarkGate/full/native/w1", 100000, 101000, 99000, 100500, 99500)...)
 	cur := writeBench(t, "cur.txt", benchLines("BenchmarkGate/full/native/w1", 150000, 151000, 149000, 150500, 149500)...)
 	var sb strings.Builder
-	code, err := run(&sb, base, cur, 0.15, 0.05)
+	code, err := run(&sb, base, cur, 0.15, 0.05, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +151,7 @@ func TestGatePassesOnImprovementAndNoise(t *testing.T) {
 		benchLines("BenchmarkA", 50000, 51000, 49000, 50500, 49500),
 		benchLines("BenchmarkB", 200400, 200900, 199400, 200100, 199800)...)...)
 	var sb strings.Builder
-	code, err := run(&sb, base, cur, 0.15, 0.05)
+	code, err := run(&sb, base, cur, 0.15, 0.05, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +169,7 @@ func TestGateSmallSlowdownWithinThresholdPasses(t *testing.T) {
 	base := writeBench(t, "base.txt", benchLines("BenchmarkA", 100000, 100100, 99900, 100050, 99950)...)
 	cur := writeBench(t, "cur.txt", benchLines("BenchmarkA", 105000, 105100, 104900, 105050, 104950)...)
 	var sb strings.Builder
-	code, err := run(&sb, base, cur, 0.15, 0.05)
+	code, err := run(&sb, base, cur, 0.15, 0.05, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +182,7 @@ func TestGateDisjointNamesIsError(t *testing.T) {
 	base := writeBench(t, "base.txt", benchLines("BenchmarkOld", 100, 100, 100)...)
 	cur := writeBench(t, "cur.txt", benchLines("BenchmarkNew", 100, 100, 100)...)
 	var sb strings.Builder
-	if _, err := run(&sb, base, cur, 0.15, 0.05); err == nil {
+	if _, err := run(&sb, base, cur, 0.15, 0.05, false); err == nil {
 		t.Fatalf("disjoint benchmark sets must error, got:\n%s", sb.String())
 	}
 }
@@ -150,12 +195,40 @@ func TestGateReportsRenames(t *testing.T) {
 		benchLines("BenchmarkKept", 100, 100, 100),
 		benchLines("BenchmarkFresh", 100, 100, 100)...)...)
 	var sb strings.Builder
-	code, err := run(&sb, base, cur, 0.15, 0.05)
+	code, err := run(&sb, base, cur, 0.15, 0.05, false)
 	if err != nil || code != 0 {
 		t.Fatalf("code = %d, err = %v", code, err)
 	}
 	out := sb.String()
 	if !strings.Contains(out, "missing from current") || !strings.Contains(out, "no baseline yet") {
 		t.Fatalf("rename notes missing:\n%s", out)
+	}
+}
+
+// TestGateStrictFailsOnMissingCoverage: in strict mode a current
+// benchmark with no baseline row fails the gate instead of being a
+// note — this is how CI catches a baseline that silently never covered
+// a whole matrix axis (say, every wmax configuration).
+func TestGateStrictFailsOnMissingCoverage(t *testing.T) {
+	base := writeBench(t, "base.txt", benchLines("BenchmarkGate/small/native/w1", 100, 100, 100, 100, 100)...)
+	cur := writeBench(t, "cur.txt", append(
+		benchLines("BenchmarkGate/small/native/w1", 100, 100, 100, 100, 100),
+		benchLines("BenchmarkGate/small/native/wmax", 50, 50, 50, 50, 50)...)...)
+	var sb strings.Builder
+	code, err := run(&sb, base, cur, 0.15, 0.05, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; output:\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "no baseline coverage") || !strings.Contains(sb.String(), "wmax") {
+		t.Fatalf("strict verdict missing:\n%s", sb.String())
+	}
+	// The same comparison without -strict stays a passing note.
+	sb.Reset()
+	code, err = run(&sb, base, cur, 0.15, 0.05, false)
+	if err != nil || code != 0 {
+		t.Fatalf("non-strict: code = %d, err = %v; output:\n%s", code, err, sb.String())
 	}
 }

@@ -9,16 +9,22 @@
 //
 // Usage:
 //
-//	benchgate [-threshold 0.15] [-alpha 0.05] baseline.txt current.txt
+//	benchgate [-threshold 0.15] [-alpha 0.05] [-strict] baseline.txt current.txt
 //
 // A benchmark is a REGRESSION when p < alpha AND the median ns/op grew
 // by more than threshold (a fraction: 0.15 = +15%). Significant
 // speedups and insignificant wobbles both pass; they are still printed
-// so the gate's log doubles as a benchstat-style trend table.
-// Benchmarks present in only one file are listed as notes and never
-// gate — renames should not break CI — but a baseline file with no
-// overlapping benchmark at all is an error, because then the gate
-// would be vacuously green.
+// so the gate's log doubles as a benchstat-style trend table. Names
+// are compared with the -GOMAXPROCS suffix stripped, so a baseline
+// recorded on one host gates runs on any CPU count.
+// By default benchmarks present in only one file are listed as notes
+// and never gate — renames should not break a casual comparison — but
+// a baseline file with no overlapping benchmark at all is an error,
+// because then the gate would be vacuously green. With -strict (what
+// scripts/bench_gate.sh passes), a current benchmark with no baseline
+// counterpart FAILS the gate: the declared matrix must be fully
+// covered, or whole configurations silently escape gating until
+// someone refreshes the baseline.
 //
 // The threshold can also be set with BENCHGATE_THRESHOLD (the flag
 // wins), so CI can loosen the gate on noisy shared runners without a
@@ -35,12 +41,13 @@ import (
 func main() {
 	thresholdFlag := flag.Float64("threshold", defaultThreshold(), "max allowed median slowdown as a fraction (0.15 = +15%); env BENCHGATE_THRESHOLD sets the default")
 	alpha := flag.Float64("alpha", 0.05, "significance level for the rank-sum test")
+	strict := flag.Bool("strict", false, "fail when a current benchmark has no baseline coverage (full matrix must be gated)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchgate [-threshold F] [-alpha F] baseline.txt current.txt")
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-threshold F] [-alpha F] [-strict] baseline.txt current.txt")
 		os.Exit(2)
 	}
-	code, err := run(os.Stdout, flag.Arg(0), flag.Arg(1), *thresholdFlag, *alpha)
+	code, err := run(os.Stdout, flag.Arg(0), flag.Arg(1), *thresholdFlag, *alpha, *strict)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)

@@ -17,9 +17,10 @@
 //     [r*total/n, (r+1)*total/n) and sweeps it first every round, so
 //     across the many rounds a solve performs, the same label/parent/
 //     span cache lines keep landing in the same core's cache. Only
-//     after its home range is exhausted does a worker steal — walking
-//     the other ranges' cursors round-robin — so skew still cannot
-//     strand work.
+//     after its home range is exhausted does a worker steal — from the
+//     most loaded remaining range, the one with the most unclaimed
+//     items — so skew still cannot strand work, and the thieves pile
+//     onto the range that actually needs the help.
 //
 // A Shard is plain value state (no goroutines, no channels): Init it,
 // then have each participating worker call Work. Pool.Sharded wires
@@ -162,8 +163,10 @@ func (s *Shard) rangeLo(r int) int { return r * s.total / s.ranges }
 func (s *Shard) rangeHi(r int) int { return (r + 1) * s.total / s.ranges }
 
 // Work is one worker's claim loop: drain the home range first, then
-// steal from the other ranges round-robin. Safe to call concurrently
-// from s's worker set after one Init.
+// repeatedly steal from the most loaded remaining range — the one
+// whose cursor is furthest from its end — until every range is
+// drained. Safe to call concurrently from s's worker set after one
+// Init.
 //
 //pramcc:zeroalloc
 func (s *Shard) Work(worker int) {
@@ -172,12 +175,28 @@ func (s *Shard) Work(worker int) {
 	if home >= n {
 		home %= n
 	}
-	for k := 0; k < n; k++ {
-		r := home + k
-		if r >= n {
-			r -= n
+	if !s.claimRange(worker, home, false) {
+		return
+	}
+	for n > 1 {
+		// Victim selection: the range with the most unclaimed items.
+		// The cursor loads race with other claimers, but a stale read
+		// only misdirects one steal round — claimRange re-reads the
+		// cursor on every claim, so exactly-once coverage never depends
+		// on this scan.
+		victim, best := -1, 0
+		for r := 0; r < n; r++ {
+			if r == home {
+				continue
+			}
+			if rem := s.rangeHi(r) - int(s.cursors[r].c.Load()); rem > best {
+				victim, best = r, rem
+			}
 		}
-		if !s.claimRange(worker, r, k > 0) {
+		if victim < 0 {
+			return
+		}
+		if !s.claimRange(worker, victim, true) {
 			return
 		}
 	}

@@ -129,6 +129,41 @@ func TestShardedStealingEngages(t *testing.T) {
 	}
 }
 
+// TestShardedStealsFromMostLoaded pins the victim-selection policy by
+// driving a Shard sequentially: after draining its home range, a
+// worker must steal from the range with the most unclaimed items
+// first, not simply the next one over.
+func TestShardedStealsFromMostLoaded(t *testing.T) {
+	var s Shard
+	stopAfter := 0
+	var order []int
+	// Ranges of [0, 90) over 3 workers: [0,30), [30,60), [60,90).
+	s.Init(90, 10, 3, true, func(worker, lo, _ int) bool {
+		if worker == 1 {
+			stopAfter--
+			return stopAfter > 0
+		}
+		order = append(order, lo)
+		return true
+	})
+	// Worker 1 claims two chunks of its home range and stops, leaving
+	// [50, 60) unclaimed there.
+	stopAfter = 2
+	s.Work(1)
+	// Worker 0 drains its home [0, 30), then must steal from range 2
+	// (30 items left) before finishing range 1 (10 items left).
+	s.Work(0)
+	want := []int{0, 10, 20, 60, 70, 80, 50}
+	if len(order) != len(want) {
+		t.Fatalf("worker 0 claimed chunks at %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("worker 0 claimed chunks at %v, want %v (most-loaded range first)", order, want)
+		}
+	}
+}
+
 // TestShardedHomeRangesAreSticky pins the affinity property on an
 // uncontended sweep: with every worker equally fast and chunked home
 // ranges, each worker's first claim lands inside its own home range.

@@ -28,6 +28,14 @@ import (
 type Machine struct {
 	workers int
 
+	// shard is the reusable claim state behind runSharded, so the
+	// simulator's per-step hot loop doesn't allocate a fresh cursor
+	// slice every Step. shardBusy guards it: a nested step (a step body
+	// invoking another Step) finds it taken and falls back to a
+	// stack-local Shard.
+	shard     pool.Shard
+	shardBusy atomic.Bool
+
 	steps    atomic.Int64 // simulated PRAM time units
 	work     atomic.Int64 // sum over steps of processors used
 	maxProcs atomic.Int64 // maximum processors used in a single step
@@ -84,31 +92,46 @@ func (m *Machine) StepCost(cost, procs int, f func(i int)) {
 	m.runSharded(procs, f)
 }
 
-// runSharded fans f over [0, total) on fresh per-step goroutines,
-// claiming chunks through a stack-local locality-aware shard
-// (internal/pool): each worker sweeps a sticky home range of the
-// processor index space first and steals from the others after — the
-// same scheduler the native and incremental engines run on, so the
-// spanning backend's tree-shortcut sweeps get the same range affinity.
-// The shard is per-call state, which keeps nested steps (a step body
-// invoking another Step) safe.
+// runSharded fans f over [0, total) on per-step goroutines, claiming
+// chunks through a locality-aware shard (internal/pool): each worker
+// sweeps a sticky home range of the processor index space first and
+// steals from the others after — the same scheduler the native and
+// incremental engines run on, so the spanning backend's tree-shortcut
+// sweeps get the same range affinity. The worker count is capped at
+// total so a step smaller than the pool never spawns goroutines whose
+// home range would be empty. The machine's reusable shard (cursor
+// slice and all) serves the common non-nested case; a nested step (a
+// step body invoking another Step) finds shardBusy taken and runs on
+// a stack-local Shard instead.
 func (m *Machine) runSharded(total int, f func(i int)) {
-	var sh pool.Shard
-	sh.Init(total, 0, m.workers, true, func(_, lo, hi int) bool {
+	workers := m.workers
+	if workers > total {
+		workers = total
+	}
+	sh := &m.shard
+	owned := m.shardBusy.CompareAndSwap(false, true)
+	var nested pool.Shard
+	if !owned {
+		sh = &nested
+	}
+	sh.Init(total, 0, workers, true, func(_, lo, hi int) bool {
 		for i := lo; i < hi; i++ {
 			f(i)
 		}
 		return true
 	})
 	var wg sync.WaitGroup
-	wg.Add(m.workers)
-	for w := 0; w < m.workers; w++ {
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
 			sh.Work(w)
 		}(w)
 	}
 	wg.Wait()
+	if owned {
+		m.shardBusy.Store(false)
+	}
 }
 
 // StepN executes one PRAM time unit whose model cost is chargedProcs

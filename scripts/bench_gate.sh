@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Multi-config benchmark gate: run the BenchmarkGate matrix —
-# {workers=1, workers=NumCPU} × {small, full-scale} on the native
-# solver and the incremental span replay (bench_gate_test.go; on a
-# single-core host the worker axis deduplicates to w1) — and compare
-# against the checked-in baseline with cmd/benchgate, which applies a
-# Mann–Whitney rank-sum test per configuration and FAILS on any
-# statistically significant median slowdown beyond the threshold.
+# {workers=1, workers=max(NumCPU,2)} × {small, full-scale} on the
+# native solver and the incremental span replay (bench_gate_test.go;
+# the wmax floor keeps the parallel axis in the matrix even on a
+# single-core host) — and compare against the checked-in baseline with
+# cmd/benchgate, which applies a Mann–Whitney rank-sum test per
+# configuration (benchmark names normalized across GOMAXPROCS) and
+# FAILS on any statistically significant median slowdown beyond the
+# threshold, or — via -strict — on any matrix configuration missing
+# from the baseline.
 # This is the CI tooth; scripts/bench_baseline.sh remains the
 # informational benchstat-style trend view over the wider suite.
 #
@@ -54,5 +57,5 @@ if [ ! -f "$BASELINE" ]; then
 fi
 
 echo
-echo ">> benchgate baseline vs current (threshold ${BENCHGATE_THRESHOLD:-0.15}, exact rank-sum test)"
-go run ./cmd/benchgate "$BASELINE" "$CURRENT"
+echo ">> benchgate baseline vs current (threshold ${BENCHGATE_THRESHOLD:-0.15}, exact rank-sum test, strict coverage)"
+go run ./cmd/benchgate -strict "$BASELINE" "$CURRENT"
